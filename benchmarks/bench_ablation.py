@@ -1,0 +1,55 @@
+"""Benchmark running the MOELA ablation study (design choices of Section IV).
+
+Not a table in the paper, but DESIGN.md calls out the design decisions the
+paper motivates (ML-guided start selection, Eq.-8 local search, the EA
+diversity stage, weighted-sum vs Tchebycheff local search); this bench runs
+each variant under a matched budget and prints their PHV relative to full
+MOELA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MOELAConfig
+from repro.experiments.ablation import ABLATION_VARIANTS, format_ablation, run_ablation
+from repro.experiments.runner import make_problem
+from repro.moo.termination import Budget
+
+ABLATION_APP = "SRAD"
+ABLATION_OBJECTIVES = 3
+ABLATION_EVALS = 400
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_moela_ablation(benchmark, bench_experiment):
+    """Run every ablation variant under a matched evaluation budget."""
+
+    def run_all():
+        problem = make_problem(bench_experiment, ABLATION_APP, ABLATION_OBJECTIVES)
+        config = MOELAConfig(
+            population_size=bench_experiment.population_size,
+            generations=10_000,
+            iter_early=bench_experiment.moela.iter_early,
+            n_local=bench_experiment.moela.n_local,
+            neighborhood_size=min(bench_experiment.moela.neighborhood_size, bench_experiment.population_size),
+            local_search_steps=bench_experiment.moela.local_search_steps,
+            local_search_neighbors=bench_experiment.moela.local_search_neighbors,
+            max_training_samples=bench_experiment.moela.max_training_samples,
+            forest_size=bench_experiment.moela.forest_size,
+            forest_depth=bench_experiment.moela.forest_depth,
+        )
+        return run_ablation(
+            problem, config, Budget.evaluations(ABLATION_EVALS),
+            variants=tuple(v.name for v in ABLATION_VARIANTS), seed=5,
+        )
+
+    summary = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    text = format_ablation(summary)
+    print()
+    print(text)
+    from benchmarks.conftest import save_artifact
+
+    save_artifact("ablation", text)
+    assert set(summary) == {v.name for v in ABLATION_VARIANTS}
+    assert summary["full"]["phv"] > 0

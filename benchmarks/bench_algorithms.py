@@ -1,0 +1,40 @@
+"""Per-algorithm search-time benchmarks.
+
+These benchmarks time a complete (reduced-budget) search of each algorithm on
+one application/scenario pair.  They expose the wall-clock cost structure the
+paper discusses: MOOS pays for repeated hypervolume computation inside its
+acceptance test, MOEA/D pays mostly for crossover/repair, and MOELA sits in
+between while reaching the best anytime quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import make_problem, run_algorithm
+from repro.moo.termination import Budget
+
+ALGORITHMS = ("MOELA", "MOEA/D", "MOOS", "MOO-STAGE", "NSGA-II")
+BENCH_APP = "BFS"
+BENCH_OBJECTIVES = 5
+BENCH_EVALS = 300
+
+
+@pytest.mark.benchmark(group="algorithms")
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_search_time(benchmark, bench_experiment, algorithm):
+    """Wall-clock time for a fixed-evaluation-budget search of each algorithm."""
+
+    def run_once():
+        problem = make_problem(bench_experiment, BENCH_APP, BENCH_OBJECTIVES)
+        return run_algorithm(
+            algorithm, problem, bench_experiment, budget=Budget.evaluations(BENCH_EVALS)
+        )
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    print(
+        f"\n{algorithm}: {result.evaluations} evaluations, "
+        f"{result.elapsed_seconds:.2f}s, pareto front size {len(result.pareto_front())}"
+    )
+    assert result.evaluations >= BENCH_EVALS * 0.5
+    assert len(result.pareto_front()) >= 1

@@ -1,0 +1,96 @@
+"""Micro-benchmarks of the substrate components.
+
+These do not map to a paper artefact directly; they document where the search
+time goes (objective evaluation, routing, hypervolume, the Eval forest) and
+guard against performance regressions in the pieces every optimiser calls in
+its inner loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.moo.hypervolume import hypervolume
+from repro.noc.constraints import random_design
+from repro.noc.crossover import crossover
+from repro.noc.moves import MoveGenerator
+from repro.noc.platform import PlatformConfig
+from repro.noc.routing import RoutingTables
+from repro.objectives.evaluator import ObjectiveEvaluator, scenario_for
+from repro.workloads.registry import get_workload
+
+PLATFORM = PlatformConfig.small_3x3x3()
+WORKLOAD = get_workload("BFS", PLATFORM, seed=0)
+DESIGNS = [random_design(PLATFORM, seed) for seed in range(8)]
+
+
+@pytest.mark.benchmark(group="components")
+def test_objective_evaluation_5obj(benchmark):
+    """Full 5-objective evaluation of one design (routing + Eqs. 1-7)."""
+    evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+    index = {"i": 0}
+
+    def evaluate_next():
+        index["i"] = (index["i"] + 1) % len(DESIGNS)
+        return evaluator.evaluate(DESIGNS[index["i"]])
+
+    values = benchmark(evaluate_next)
+    assert np.all(values >= 0)
+
+
+@pytest.mark.benchmark(group="components")
+def test_routing_table_construction(benchmark):
+    """All-pairs deterministic routing for one design."""
+    routing = benchmark(lambda: RoutingTables(DESIGNS[0], PLATFORM.grid))
+    assert routing.is_reachable(0, PLATFORM.num_tiles - 1)
+
+
+@pytest.mark.benchmark(group="components")
+def test_random_design_generation(benchmark):
+    """Feasible random design generation (spanning tree + budget fill)."""
+    rng = np.random.default_rng(123)
+    design = benchmark(lambda: random_design(PLATFORM, rng))
+    assert design.num_links == PLATFORM.num_links
+
+
+@pytest.mark.benchmark(group="components")
+def test_crossover_with_repair(benchmark):
+    """Crossover of two feasible parents including constraint repair."""
+    rng = np.random.default_rng(7)
+    child = benchmark(lambda: crossover(DESIGNS[0], DESIGNS[1], PLATFORM, rng))
+    assert child.num_links == PLATFORM.num_links
+
+
+@pytest.mark.benchmark(group="components")
+def test_neighbor_move(benchmark):
+    """One random feasible neighbourhood move."""
+    moves = MoveGenerator(PLATFORM)
+    rng = np.random.default_rng(11)
+    neighbor = benchmark(lambda: moves.random_neighbor(DESIGNS[0], rng))
+    assert neighbor.num_tiles == PLATFORM.num_tiles
+
+
+@pytest.mark.benchmark(group="components")
+def test_hypervolume_5obj_50_points(benchmark):
+    """Exact WFG hypervolume of a 50-point 5-objective front (MOOS's inner cost)."""
+    rng = np.random.default_rng(3)
+    points = rng.uniform(0.0, 1.0, size=(50, 5))
+    reference = np.full(5, 1.1)
+    value = benchmark(lambda: hypervolume(points, reference))
+    assert value > 0
+
+
+@pytest.mark.benchmark(group="components")
+def test_eval_forest_training(benchmark):
+    """Training MOELA's random-forest Eval model on 2000 trajectory samples."""
+    rng = np.random.default_rng(5)
+    X = rng.uniform(size=(2_000, 21))
+    y = X[:, 0] * 3.0 + X[:, 1] ** 2 + rng.normal(scale=0.05, size=2_000)
+
+    def train():
+        return RandomForestRegressor(n_estimators=10, max_depth=8, rng=0).fit(X, y)
+
+    forest = benchmark(train)
+    assert forest.is_fitted

@@ -1,0 +1,81 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks regenerate the paper's tables and figure at a reduced scale so
+the whole suite finishes in minutes on a laptop.  The scale can be adjusted
+through environment variables without editing code:
+
+* ``REPRO_BENCH_APPS``        comma-separated application list (default ``BFS,SRAD,HOT``)
+* ``REPRO_BENCH_OBJECTIVES``  comma-separated objective counts (default ``3,5``)
+* ``REPRO_BENCH_EVALS``       evaluation budget per run (default ``1200``)
+* ``REPRO_BENCH_POPULATION``  population size (default ``16``)
+* ``REPRO_BENCH_PLATFORM``    ``tiny`` / ``small`` / ``paper`` (default ``small``)
+
+Running ``examples/reproduce_tables.py`` instead uses the full six-application
+configuration of the paper.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.config import MOELAConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import run_all_comparisons
+from repro.noc.platform import PlatformConfig
+
+_PLATFORMS = {
+    "tiny": PlatformConfig.tiny_2x2x2,
+    "small": PlatformConfig.small_3x3x3,
+    "paper": PlatformConfig.paper_4x4x4,
+}
+
+
+def _env_tuple(name: str, default: str) -> tuple[str, ...]:
+    return tuple(item.strip() for item in os.environ.get(name, default).split(",") if item.strip())
+
+
+def bench_experiment_config() -> ExperimentConfig:
+    """Build the benchmark-scale experiment configuration from the environment."""
+    platform = _PLATFORMS[os.environ.get("REPRO_BENCH_PLATFORM", "small")]()
+    applications = _env_tuple("REPRO_BENCH_APPS", "BFS,SRAD,HOT")
+    objectives = tuple(int(v) for v in _env_tuple("REPRO_BENCH_OBJECTIVES", "3,5"))
+    max_evaluations = int(os.environ.get("REPRO_BENCH_EVALS", "1200"))
+    population = int(os.environ.get("REPRO_BENCH_POPULATION", "16"))
+    return ExperimentConfig(
+        platform=platform,
+        applications=applications,
+        objective_counts=objectives,
+        population_size=population,
+        max_evaluations=max_evaluations,
+        moela=MOELAConfig.reduced(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_experiment() -> ExperimentConfig:
+    """The benchmark-scale experiment configuration."""
+    return bench_experiment_config()
+
+
+def save_artifact(name: str, text: str) -> None:
+    """Write a regenerated table/figure to ``benchmarks/results/<name>.txt``.
+
+    pytest captures stdout of passing tests, so besides printing, every bench
+    persists its artefact to disk where it can be inspected after the run.
+    """
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    with open(os.path.join(results_dir, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_runs(bench_experiment):
+    """The shared search campaign consumed by the Table I/II and Fig. 3 benches.
+
+    Running the campaign once and reusing it mirrors the paper, where the same
+    searches feed every reported artefact.
+    """
+    return run_all_comparisons(bench_experiment, progress=lambda msg: print(f"[bench-runs] {msg}"))

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Compare MOELA against MOEA/D, MOOS, MOO-STAGE and NSGA-II on one workload.
+
+Runs every optimiser on the same (application, scenario) problem instance with
+a matched evaluation budget, then reports the Pareto hypervolume over time,
+the final front size, and the speed-up / PHV-gain metrics of Section V.C.
+
+Run with::
+
+    python examples/compare_algorithms.py --app GAU --objectives 5 --evaluations 1000
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import common_reference_point, phv_gain, speedup_factor
+from repro.experiments.runner import ALGORITHMS, make_problem, run_algorithm
+from repro.moo.termination import Budget
+from repro.noc.platform import PlatformConfig
+
+PLATFORMS = {
+    "tiny": PlatformConfig.tiny_2x2x2,
+    "small": PlatformConfig.small_3x3x3,
+    "paper": PlatformConfig.paper_4x4x4,
+}
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="GAU", help="Rodinia application (BP/BFS/GAU/HOT/PF/SC/SRAD)")
+    parser.add_argument("--objectives", type=int, default=5, choices=(3, 4, 5))
+    parser.add_argument("--evaluations", type=int, default=1000, help="evaluation budget per algorithm")
+    parser.add_argument("--population", type=int, default=16)
+    parser.add_argument("--platform", choices=sorted(PLATFORMS), default="small")
+    parser.add_argument("--algorithms", nargs="+", default=["MOELA", "MOEA/D", "MOOS"],
+                        help=f"subset of {ALGORITHMS}")
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    experiment = ExperimentConfig(
+        platform=PLATFORMS[args.platform](),
+        applications=(args.app.upper(),),
+        objective_counts=(args.objectives,),
+        population_size=args.population,
+        max_evaluations=args.evaluations,
+    )
+    budget = Budget.evaluations(args.evaluations)
+
+    results = {}
+    for algorithm in args.algorithms:
+        problem = make_problem(experiment, args.app, args.objectives)
+        print(f"running {algorithm:<10} on {problem.name} ...", flush=True)
+        results[algorithm] = run_algorithm(algorithm, problem, experiment, budget=budget)
+
+    reference = common_reference_point(list(results.values()))
+    print(f"\n{'algorithm':<12}{'evals':>8}{'seconds':>10}{'front':>8}{'PHV':>14}")
+    for algorithm, result in results.items():
+        print(
+            f"{algorithm:<12}{result.evaluations:>8}{result.elapsed_seconds:>10.1f}"
+            f"{len(result.final_front()):>8}{result.final_hypervolume(reference):>14.4g}"
+        )
+
+    if "MOELA" in results:
+        moela = results["MOELA"]
+        print("\nMOELA vs baselines (Section V.C metrics):")
+        for algorithm, result in results.items():
+            if algorithm == "MOELA":
+                continue
+            gain = 100.0 * phv_gain(moela, result, reference)
+            speedup = speedup_factor(result, moela, reference)
+            print(f"  vs {algorithm:<10} PHV gain {gain:7.1f} %   speed-up {speedup:6.2f}x")
+
+
+if __name__ == "__main__":
+    main()

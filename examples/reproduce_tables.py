@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's evaluation artefacts: Table I, Table II and Fig. 3.
+
+By default the script uses the reduced laptop-scale configuration (27-tile
+platform, six Rodinia applications, 3/4/5-objective scenarios, an evaluation
+budget per run) and prints the same rows the paper reports.  ``--paper-scale``
+switches to the full 64-tile / 1000-generation configuration of Section V
+(this takes many hours).
+
+Run with::
+
+    python examples/reproduce_tables.py                  # everything, reduced scale
+    python examples/reproduce_tables.py --table 1        # only Table I
+    python examples/reproduce_tables.py --figure 3       # only Fig. 3
+    python examples/reproduce_tables.py --apps BFS SRAD --objectives 3 5 --evaluations 800
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.core.config import MOELAConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import (
+    build_figure3,
+    build_table1,
+    build_table2,
+    format_figure3,
+    format_table,
+    run_all_comparisons,
+)
+from repro.noc.platform import PlatformConfig
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--table", type=int, choices=(1, 2), action="append", dest="tables",
+                        help="regenerate only the given table (repeatable)")
+    parser.add_argument("--figure", type=int, choices=(3,), action="append", dest="figures",
+                        help="regenerate only the given figure (repeatable)")
+    parser.add_argument("--apps", nargs="+", default=None, help="applications (default: the paper's six)")
+    parser.add_argument("--objectives", nargs="+", type=int, default=None, help="objective counts (default 3 4 5)")
+    parser.add_argument("--evaluations", type=int, default=1200, help="evaluation budget per run")
+    parser.add_argument("--population", type=int, default=16)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the full 4x4x4 platform and the paper's parameters (very slow)")
+    return parser.parse_args()
+
+
+def build_experiment(args: argparse.Namespace) -> ExperimentConfig:
+    if args.paper_scale:
+        return ExperimentConfig.paper_scale()
+    base = ExperimentConfig.reduced()
+    return ExperimentConfig(
+        platform=PlatformConfig.small_3x3x3(),
+        applications=tuple(a.upper() for a in args.apps) if args.apps else base.applications,
+        objective_counts=tuple(args.objectives) if args.objectives else base.objective_counts,
+        population_size=args.population,
+        max_evaluations=args.evaluations,
+        moela=MOELAConfig.reduced(),
+    )
+
+
+def main() -> None:
+    args = parse_args()
+    tables = set(args.tables or ([] if args.figures else [1, 2]))
+    figures = set(args.figures or ([] if args.tables else [3]))
+    if not args.tables and not args.figures:
+        tables, figures = {1, 2}, {3}
+
+    experiment = build_experiment(args)
+    total_cells = len(experiment.applications) * len(experiment.objective_counts)
+    print(
+        f"running MOELA / MOEA/D / MOOS on {len(experiment.applications)} applications x "
+        f"{len(experiment.objective_counts)} scenarios ({total_cells} cells, "
+        f"{experiment.max_evaluations} evaluations per run) on platform {experiment.platform.name}"
+    )
+    runs = run_all_comparisons(experiment, progress=lambda msg: print(f"  {msg}", flush=True))
+
+    if 1 in tables:
+        print("\n" + format_table(build_table1(experiment, runs), value_format="{:8.2f}"))
+    if 2 in tables:
+        print("\n" + format_table(build_table2(experiment, runs), value_format="{:8.1f}"))
+    if 3 in figures:
+        print("\n" + format_figure3(build_figure3(experiment, runs)))
+
+    print(
+        "\nNote: absolute values differ from the paper (its campaigns run for up to 48 hours on a "
+        "64-tile platform with gem5-GPU-derived traffic); see EXPERIMENTS.md for the paper-vs-"
+        "measured discussion."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setuptools entry point (keeps editable installs working offline)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""MOELA reproduction: multi-objective evolutionary/learning DSE for 3D heterogeneous manycore platforms.
+
+This package reproduces the system described in "MOELA: A Multi-Objective
+Evolutionary/Learning Design Space Exploration Framework for 3D Heterogeneous
+Manycore Platforms" (DATE 2023).  It contains:
+
+* ``repro.noc`` — the 3D NoC platform model (tiles, links, designs,
+  constraints, routing, mesh references, move operators).
+* ``repro.workloads`` — synthetic Rodinia-like traffic and power generators
+  that stand in for the paper's gem5-GPU/McPAT/GPUWattch toolchain.
+* ``repro.objectives`` — the five cost models of Section III (traffic mean,
+  traffic variance, CPU-LLC latency, NoC energy, thermal).
+* ``repro.simulation`` — a queueing-theoretic NoC performance/energy simulator
+  used to compute EDP for final designs (Fig. 3 substitute).
+* ``repro.ml`` — regression trees / random forests / scalers used by the
+  learned evaluation functions (scikit-learn substitute).
+* ``repro.moo`` — multi-objective optimisation substrate (dominance,
+  hypervolume, weight vectors, scalarisation) and baseline optimisers
+  (MOEA/D, NSGA-II, MOOS, MOO-STAGE).
+* ``repro.core`` — the MOELA framework itself (Algorithms 1 and 2).
+* ``repro.experiments`` — the harness that regenerates Table I, Table II and
+  Fig. 3 of the paper.
+"""
+
+from repro.core.config import MOELAConfig
+from repro.core.moela import MOELA
+from repro.core.problem import NocDesignProblem
+from repro.noc.platform import PlatformConfig
+from repro.workloads.registry import WorkloadRegistry, get_workload
+
+__all__ = [
+    "MOELA",
+    "MOELAConfig",
+    "NocDesignProblem",
+    "PlatformConfig",
+    "WorkloadRegistry",
+    "get_workload",
+]
+
+__version__ = "1.0.0"

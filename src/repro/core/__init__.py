@@ -1,0 +1,16 @@
+"""MOELA core: the hybrid evolutionary/learning DSE framework (Algorithms 1-2)."""
+
+from repro.core.config import MOELAConfig
+from repro.core.features import DesignFeaturizer
+from repro.core.ml_guide import EvalModel, MLGuide
+from repro.core.moela import MOELA
+from repro.core.problem import NocDesignProblem
+
+__all__ = [
+    "DesignFeaturizer",
+    "EvalModel",
+    "MLGuide",
+    "MOELA",
+    "MOELAConfig",
+    "NocDesignProblem",
+]

@@ -1,0 +1,102 @@
+"""Learned evaluation function (``Eval``) and starting-point selection (Algorithm 2).
+
+``Eval`` is a random-forest regressor mapping a design's structural features
+and its assigned weight vector to the expected outcome of an Eq.-8 local
+search from that design.  :class:`MLGuide` trains the model on the aggregated
+local-search trajectories ``S_train`` and, once enough data exists, selects
+the ``n_local`` most promising (lowest predicted value) population members as
+the next local-search starting points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.scaler import StandardScaler
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TrainingSample:
+    """One ``S_train`` entry: design features + weight -> local-search outcome."""
+
+    features: np.ndarray
+    weight: np.ndarray
+    outcome: float
+
+    def row(self) -> np.ndarray:
+        """Concatenated model input (features followed by the weight vector)."""
+        return np.concatenate([self.features, self.weight])
+
+
+class EvalModel:
+    """Random-forest ``Eval`` with feature standardisation."""
+
+    def __init__(self, n_estimators: int = 30, max_depth: int = 10, rng=None):
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.rng = ensure_rng(rng)
+        self._forest: RandomForestRegressor | None = None
+        self._scaler: StandardScaler | None = None
+
+    @property
+    def is_trained(self) -> bool:
+        """True once :meth:`train` has succeeded."""
+        return self._forest is not None
+
+    def train(self, samples: list[TrainingSample]) -> None:
+        """Fit the model on the aggregated trajectory samples."""
+        if len(samples) < 4:
+            return
+        X = np.asarray([s.row() for s in samples], dtype=np.float64)
+        y = np.asarray([s.outcome for s in samples], dtype=np.float64)
+        scaler = StandardScaler().fit(X)
+        forest = RandomForestRegressor(
+            n_estimators=self.n_estimators, max_depth=self.max_depth, rng=self.rng
+        )
+        forest.fit(scaler.transform(X), y)
+        self._forest = forest
+        self._scaler = scaler
+
+    def predict(self, features: np.ndarray, weight: np.ndarray) -> float:
+        """Predicted local-search outcome for one design/weight pair."""
+        return float(self.predict_many(np.atleast_2d(features), np.atleast_2d(weight))[0])
+
+    def predict_many(self, features: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Predicted outcomes for a batch of design/weight pairs."""
+        if not self.is_trained:
+            raise RuntimeError("the Eval model has not been trained")
+        X = np.hstack([np.atleast_2d(features), np.atleast_2d(weights)])
+        return self._forest.predict(self._scaler.transform(X))
+
+
+class MLGuide:
+    """Algorithm 2: pick the ``n_local`` most promising local-search start designs."""
+
+    def __init__(self, model: EvalModel):
+        self.model = model
+
+    def select(
+        self,
+        features: np.ndarray,
+        weights: np.ndarray,
+        n_local: int,
+        rng=None,
+    ) -> np.ndarray:
+        """Indices of the ``n_local`` designs with the lowest predicted outcome.
+
+        Falls back to a uniform random choice when the model is untrained.
+        ``features`` is the ``N x F`` matrix of population design features and
+        ``weights`` the matching ``N x M`` weight matrix.
+        """
+        rng = ensure_rng(rng)
+        population = len(features)
+        n_local = min(n_local, population)
+        if not self.model.is_trained:
+            return rng.choice(population, size=n_local, replace=False)
+        predictions = self.model.predict_many(features, weights)
+        order = np.argsort(predictions, kind="stable")
+        return order[:n_local]

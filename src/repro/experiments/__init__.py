@@ -1,0 +1,35 @@
+"""Experiment harness reproducing the paper's evaluation (Tables I-II, Fig. 3)."""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import (
+    common_reference_point,
+    edp_of_best_design,
+    phv_gain,
+    select_design_by_thermal_threshold,
+    speedup_factor,
+)
+from repro.experiments.runner import compare_algorithms, make_problem, run_algorithm
+from repro.experiments.tables import (
+    build_figure3,
+    build_table1,
+    build_table2,
+    format_figure3,
+    format_table,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "build_figure3",
+    "build_table1",
+    "build_table2",
+    "common_reference_point",
+    "compare_algorithms",
+    "edp_of_best_design",
+    "format_figure3",
+    "format_table",
+    "make_problem",
+    "phv_gain",
+    "run_algorithm",
+    "select_design_by_thermal_threshold",
+    "speedup_factor",
+]

@@ -1,0 +1,102 @@
+"""Experiment configuration for the reproduction harness.
+
+The paper's evaluation runs every algorithm for up to 48 hours on a 64-tile
+platform with 1000 generations.  The reduced defaults here regenerate every
+table and figure on a laptop in minutes while exercising exactly the same
+code paths; the full-scale settings remain available via
+:meth:`ExperimentConfig.paper_scale`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import MOELAConfig
+from repro.noc.platform import PlatformConfig
+from repro.workloads.rodinia import RODINIA_APPLICATIONS
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Settings shared by the table/figure reproduction runs.
+
+    Parameters
+    ----------
+    platform:
+        Platform configuration all designs are generated for.
+    applications:
+        Application names evaluated (Tables I/II use six Rodinia apps).
+    objective_counts:
+        The scenarios to evaluate (3, 4 and/or 5 objectives).
+    population_size:
+        Population / archive size for every algorithm.
+    max_evaluations:
+        Evaluation budget per run (the deterministic stand-in for ``T_stop``).
+    moela:
+        MOELA hyper-parameters.
+    searches_per_iteration, local_search_steps, neighbors_per_step:
+        Budgets for the MOOS baseline's local searches.
+    seed:
+        Base seed; per-(algorithm, app, scenario) seeds are derived from it.
+    """
+
+    platform: PlatformConfig = field(default_factory=PlatformConfig.small_3x3x3)
+    applications: tuple[str, ...] = ("BFS", "BP", "GAU", "HOT", "PF", "SRAD")
+    objective_counts: tuple[int, ...] = (3, 4, 5)
+    population_size: int = 16
+    max_evaluations: int = 1_200
+    moela: MOELAConfig = field(default_factory=MOELAConfig.reduced)
+    searches_per_iteration: int = 3
+    local_search_steps: int = 6
+    neighbors_per_step: int = 3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        unknown = [a for a in self.applications if a.upper() not in RODINIA_APPLICATIONS]
+        if unknown:
+            raise ValueError(f"unknown applications {unknown}; known: {RODINIA_APPLICATIONS}")
+        if not self.objective_counts:
+            raise ValueError("at least one objective count is required")
+        if any(m not in (3, 4, 5) for m in self.objective_counts):
+            raise ValueError("objective counts must be drawn from {3, 4, 5}")
+        if self.population_size < 4:
+            raise ValueError("population_size must be >= 4")
+        if self.max_evaluations < 10:
+            raise ValueError("max_evaluations must be >= 10")
+
+    @classmethod
+    def smoke(cls) -> "ExperimentConfig":
+        """Very small settings for tests (single app, tiny platform)."""
+        return cls(
+            platform=PlatformConfig.tiny_2x2x2(),
+            applications=("BFS",),
+            objective_counts=(3,),
+            population_size=6,
+            max_evaluations=120,
+            moela=MOELAConfig.smoke(),
+            searches_per_iteration=2,
+            local_search_steps=3,
+            neighbors_per_step=2,
+            seed=3,
+        )
+
+    @classmethod
+    def reduced(cls) -> "ExperimentConfig":
+        """Default laptop-scale settings used by the benchmark harness."""
+        return cls()
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentConfig":
+        """The paper's full-scale settings (hours to days of compute)."""
+        return cls(
+            platform=PlatformConfig.paper_4x4x4(),
+            applications=("BFS", "BP", "GAU", "HOT", "PF", "SRAD"),
+            objective_counts=(3, 4, 5),
+            population_size=50,
+            max_evaluations=2_000_000,
+            moela=MOELAConfig.paper(),
+            searches_per_iteration=5,
+            local_search_steps=25,
+            neighbors_per_step=4,
+            seed=0,
+        )

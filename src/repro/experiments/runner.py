@@ -1,0 +1,112 @@
+"""Runs the optimisers on (application, scenario) problem instances."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import MOELAConfig
+from repro.core.moela import MOELA
+from repro.core.problem import NocDesignProblem
+from repro.experiments.config import ExperimentConfig
+from repro.moo.moead import MOEAD
+from repro.moo.moo_stage import MOOStage
+from repro.moo.moos import MOOS
+from repro.moo.nsga2 import NSGA2
+from repro.moo.result import OptimizationResult
+from repro.moo.termination import Budget
+from repro.workloads.registry import get_workload
+
+#: Algorithm names accepted by :func:`run_algorithm`.
+ALGORITHMS: tuple[str, ...] = ("MOELA", "MOEA/D", "MOOS", "MOO-STAGE", "NSGA-II")
+
+
+def make_problem(
+    experiment: ExperimentConfig, application: str, num_objectives: int
+) -> NocDesignProblem:
+    """Build the NoC design problem for one application and objective scenario."""
+    workload = get_workload(application, experiment.platform, seed=experiment.seed)
+    return NocDesignProblem(workload, scenario=num_objectives)
+
+
+def _derived_seed(experiment: ExperimentConfig, algorithm: str, application: str, num_objectives: int) -> int:
+    code = sum((i + 1) * ord(c) for i, c in enumerate(f"{algorithm}|{application}|{num_objectives}"))
+    return (experiment.seed * 99_991 + code) & 0x7FFFFFFF
+
+
+def run_algorithm(
+    algorithm: str,
+    problem: NocDesignProblem,
+    experiment: ExperimentConfig,
+    budget: Budget | None = None,
+    seed: int | None = None,
+) -> OptimizationResult:
+    """Run one algorithm on one problem instance and return its result."""
+    name = algorithm.upper()
+    budget = budget if budget is not None else Budget.evaluations(experiment.max_evaluations)
+    if seed is None:
+        seed = _derived_seed(experiment, name, problem.workload.name, problem.num_objectives)
+
+    if name == "MOELA":
+        moela_config = MOELAConfig(
+            population_size=experiment.population_size,
+            generations=experiment.moela.generations,
+            iter_early=experiment.moela.iter_early,
+            n_local=min(experiment.moela.n_local, experiment.population_size),
+            delta=experiment.moela.delta,
+            neighborhood_size=min(experiment.moela.neighborhood_size, experiment.population_size),
+            replacement_limit=experiment.moela.replacement_limit,
+            local_search_steps=experiment.moela.local_search_steps,
+            local_search_neighbors=experiment.moela.local_search_neighbors,
+            local_search_patience=experiment.moela.local_search_patience,
+            max_training_samples=experiment.moela.max_training_samples,
+            forest_size=experiment.moela.forest_size,
+            forest_depth=experiment.moela.forest_depth,
+            seed=seed,
+        )
+        optimizer: Any = MOELA(problem, moela_config, rng=seed)
+    elif name in ("MOEA/D", "MOEAD"):
+        optimizer = MOEAD(
+            problem,
+            population_size=experiment.population_size,
+            neighborhood_size=min(experiment.moela.neighborhood_size, experiment.population_size),
+            delta=experiment.moela.delta,
+            rng=seed,
+        )
+    elif name == "MOOS":
+        optimizer = MOOS(
+            problem,
+            population_size=experiment.population_size,
+            searches_per_iteration=experiment.searches_per_iteration,
+            local_search_steps=experiment.local_search_steps,
+            neighbors_per_step=experiment.neighbors_per_step,
+            rng=seed,
+        )
+    elif name == "MOO-STAGE":
+        optimizer = MOOStage(
+            problem,
+            population_size=experiment.population_size,
+            searches_per_iteration=experiment.searches_per_iteration,
+            local_search_steps=experiment.local_search_steps,
+            neighbors_per_step=experiment.neighbors_per_step,
+            rng=seed,
+        )
+    elif name == "NSGA-II":
+        optimizer = NSGA2(problem, population_size=experiment.population_size, rng=seed)
+    else:
+        raise ValueError(f"unknown algorithm {algorithm!r}; available: {ALGORITHMS}")
+    return optimizer.run(budget)
+
+
+def compare_algorithms(
+    algorithms: list[str],
+    experiment: ExperimentConfig,
+    application: str,
+    num_objectives: int,
+    budget: Budget | None = None,
+) -> dict[str, OptimizationResult]:
+    """Run several algorithms on the same problem instance with matched budgets."""
+    problem = make_problem(experiment, application, num_objectives)
+    results: dict[str, OptimizationResult] = {}
+    for algorithm in algorithms:
+        results[algorithm] = run_algorithm(algorithm, problem, experiment, budget=budget)
+    return results

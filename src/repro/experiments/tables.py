@@ -1,0 +1,220 @@
+"""Builders for the paper's evaluation artefacts: Table I, Table II and Fig. 3.
+
+Each builder runs MOELA and the baselines on the configured applications and
+objective scenarios and returns plain row dictionaries mirroring the paper's
+layout (applications as rows, ``{baseline} x {3,4,5}-obj`` as columns);
+``format_table`` / ``format_figure3`` render them as text tables so the
+benchmark harness prints the same rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.metrics import (
+    common_reference_point,
+    edp_of_best_design,
+    edp_overhead,
+    phv_gain,
+    speedup_factor,
+)
+from repro.experiments.runner import compare_algorithms
+from repro.moo.result import OptimizationResult
+from repro.simulation.simulator import NocSimulator
+from repro.workloads.registry import get_workload
+
+#: Baselines MOELA is compared against in Tables I/II and Fig. 3.
+BASELINES: tuple[str, ...] = ("MOEA/D", "MOOS")
+
+
+@dataclass
+class ComparisonCell:
+    """One (application, baseline, scenario) cell of a table."""
+
+    application: str
+    baseline: str
+    num_objectives: int
+    value: float
+
+
+@dataclass
+class TableResult:
+    """A full table: rows per application plus per-column averages."""
+
+    name: str
+    cells: list[ComparisonCell] = field(default_factory=list)
+
+    def value(self, application: str, baseline: str, num_objectives: int) -> float:
+        """Look up one cell value."""
+        for cell in self.cells:
+            if (
+                cell.application == application
+                and cell.baseline == baseline
+                and cell.num_objectives == num_objectives
+            ):
+                return cell.value
+        raise KeyError((application, baseline, num_objectives))
+
+    def applications(self) -> list[str]:
+        """Applications present, in insertion order."""
+        seen: list[str] = []
+        for cell in self.cells:
+            if cell.application not in seen:
+                seen.append(cell.application)
+        return seen
+
+    def columns(self) -> list[tuple[str, int]]:
+        """Distinct ``(baseline, num_objectives)`` columns, in insertion order."""
+        seen: list[tuple[str, int]] = []
+        for cell in self.cells:
+            key = (cell.baseline, cell.num_objectives)
+            if key not in seen:
+                seen.append(key)
+        return seen
+
+    def column_average(self, baseline: str, num_objectives: int) -> float:
+        """Average over applications of one column."""
+        values = [
+            cell.value
+            for cell in self.cells
+            if cell.baseline == baseline and cell.num_objectives == num_objectives
+        ]
+        return float(np.mean(values)) if values else float("nan")
+
+
+# ---------------------------------------------------------------------- #
+# Shared run cache
+# ---------------------------------------------------------------------- #
+RunMap = dict[tuple[str, int], dict[str, OptimizationResult]]
+
+
+def run_all_comparisons(
+    experiment: ExperimentConfig,
+    algorithms: tuple[str, ...] = ("MOELA",) + BASELINES,
+    progress: Callable[[str], None] | None = None,
+) -> RunMap:
+    """Run every (application, scenario) comparison once and cache the results.
+
+    Both tables and the figure consume the same runs, matching the paper
+    (Table I/II/Fig. 3 all come from the same search campaigns).
+    """
+    runs: RunMap = {}
+    for application in experiment.applications:
+        for num_objectives in experiment.objective_counts:
+            if progress is not None:
+                progress(f"running {application} / {num_objectives}-obj")
+            runs[(application, num_objectives)] = compare_algorithms(
+                list(algorithms), experiment, application, num_objectives
+            )
+    return runs
+
+
+# ---------------------------------------------------------------------- #
+# Table I — speed-up of MOELA over the baselines
+# ---------------------------------------------------------------------- #
+def build_table1(
+    experiment: ExperimentConfig,
+    runs: RunMap | None = None,
+    measure: str = "evaluations",
+) -> TableResult:
+    """Table I: speed-up factor of MOELA vs MOEA/D and MOOS per app and scenario."""
+    runs = runs if runs is not None else run_all_comparisons(experiment)
+    table = TableResult(name="Table I: speed-up of MOELA")
+    for baseline in BASELINES:
+        for num_objectives in experiment.objective_counts:
+            for application in experiment.applications:
+                results = runs[(application, num_objectives)]
+                reference = common_reference_point(list(results.values()))
+                value = speedup_factor(
+                    results[baseline], results["MOELA"], reference, measure=measure
+                )
+                table.cells.append(
+                    ComparisonCell(application, baseline, num_objectives, value)
+                )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Table II — PHV gain of MOELA over the baselines
+# ---------------------------------------------------------------------- #
+def build_table2(experiment: ExperimentConfig, runs: RunMap | None = None) -> TableResult:
+    """Table II: PHV gain (%) of MOELA vs MOEA/D and MOOS at the stop budget."""
+    runs = runs if runs is not None else run_all_comparisons(experiment)
+    table = TableResult(name="Table II: PHV gain of MOELA (%)")
+    for baseline in BASELINES:
+        for num_objectives in experiment.objective_counts:
+            for application in experiment.applications:
+                results = runs[(application, num_objectives)]
+                reference = common_reference_point(list(results.values()))
+                value = 100.0 * phv_gain(results["MOELA"], results[baseline], reference)
+                table.cells.append(
+                    ComparisonCell(application, baseline, num_objectives, value)
+                )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Fig. 3 — EDP overhead of the baselines relative to MOELA (5-obj)
+# ---------------------------------------------------------------------- #
+def build_figure3(
+    experiment: ExperimentConfig,
+    runs: RunMap | None = None,
+    num_objectives: int = 5,
+) -> TableResult:
+    """Fig. 3: EDP overhead (%) of MOEA/D and MOOS designs vs MOELA designs.
+
+    Uses the 5-objective runs (or the largest available scenario) and the
+    paper's thermal-threshold design-selection rule.
+    """
+    runs = runs if runs is not None else run_all_comparisons(experiment)
+    available = sorted({objectives for _, objectives in runs})
+    if num_objectives not in available:
+        num_objectives = available[-1]
+    figure = TableResult(name=f"Fig. 3: EDP overhead vs MOELA ({num_objectives}-obj, %)")
+    for application in experiment.applications:
+        results = runs[(application, num_objectives)]
+        workload = get_workload(application, experiment.platform, seed=experiment.seed)
+        simulator = NocSimulator(workload)
+        moela_edp = edp_of_best_design(results["MOELA"], workload, simulator=simulator)
+        for baseline in BASELINES:
+            baseline_edp = edp_of_best_design(results[baseline], workload, simulator=simulator)
+            figure.cells.append(
+                ComparisonCell(
+                    application,
+                    baseline,
+                    num_objectives,
+                    100.0 * edp_overhead(baseline_edp, moela_edp),
+                )
+            )
+    return figure
+
+
+# ---------------------------------------------------------------------- #
+# Text rendering
+# ---------------------------------------------------------------------- #
+def format_table(table: TableResult, value_format: str = "{:8.2f}") -> str:
+    """Render a table with applications as rows and (baseline, scenario) columns."""
+    columns = table.columns()
+    header_cells = [f"{baseline} {objectives}-obj" for baseline, objectives in columns]
+    width = max(12, max((len(h) for h in header_cells), default=12) + 2)
+    lines = [table.name, ""]
+    lines.append("App".ljust(10) + "".join(h.rjust(width) for h in header_cells))
+    for application in table.applications():
+        row = [application.ljust(10)]
+        for baseline, objectives in columns:
+            row.append(value_format.format(table.value(application, baseline, objectives)).rjust(width))
+        lines.append("".join(row))
+    average_row = ["Average".ljust(10)]
+    for baseline, objectives in columns:
+        average_row.append(value_format.format(table.column_average(baseline, objectives)).rjust(width))
+    lines.append("".join(average_row))
+    return "\n".join(lines)
+
+
+def format_figure3(figure: TableResult) -> str:
+    """Render the Fig. 3 data as a text table (EDP overhead in %)."""
+    return format_table(figure, value_format="{:8.2f}")

@@ -1,0 +1,35 @@
+"""Deterministic train/test splitting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.2,
+    rng=None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split ``(X, y)`` into train and test subsets.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.  At least one sample is
+    kept on each side whenever the dataset has two or more samples.
+    """
+    if not (0.0 < test_fraction < 1.0):
+        raise ValueError("test_fraction must lie strictly between 0 and 1")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if len(X) != len(y):
+        raise ValueError("X and y must have the same number of samples")
+    if len(X) < 2:
+        raise ValueError("need at least two samples to split")
+    rng = ensure_rng(rng)
+    indices = rng.permutation(len(X))
+    test_size = int(round(test_fraction * len(X)))
+    test_size = min(max(test_size, 1), len(X) - 1)
+    test_idx = indices[:test_size]
+    train_idx = indices[test_size:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

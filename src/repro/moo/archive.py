@@ -1,0 +1,101 @@
+"""Bounded Pareto archive of non-dominated designs."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.moo.dominance import crowding_distance, dominates
+
+
+class ParetoArchive:
+    """Maintains a set of mutually non-dominated ``(design, objectives)`` pairs.
+
+    When a maximum size is set and exceeded, the most crowded members are
+    evicted first (crowding-distance based truncation), preserving spread.
+    """
+
+    def __init__(self, max_size: int | None = None):
+        if max_size is not None and max_size < 1:
+            raise ValueError("max_size must be >= 1 or None")
+        self.max_size = max_size
+        self._designs: list[Any] = []
+        self._objectives: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def add(self, design: Any, objectives: np.ndarray) -> bool:
+        """Insert a candidate; returns True when it enters the archive.
+
+        The candidate is rejected when an archived member dominates it or has
+        identical objectives; archived members dominated by the candidate are
+        removed.
+        """
+        objectives = np.asarray(objectives, dtype=np.float64).copy()
+        keep_designs: list[Any] = []
+        keep_objectives: list[np.ndarray] = []
+        for archived_design, archived_obj in zip(self._designs, self._objectives):
+            if dominates(archived_obj, objectives) or np.array_equal(archived_obj, objectives):
+                return False
+            if not dominates(objectives, archived_obj):
+                keep_designs.append(archived_design)
+                keep_objectives.append(archived_obj)
+        keep_designs.append(design)
+        keep_objectives.append(objectives)
+        self._designs = keep_designs
+        self._objectives = keep_objectives
+        self._truncate()
+        return True
+
+    def add_many(self, designs: list[Any], objectives: np.ndarray) -> int:
+        """Insert several candidates; returns how many entered the archive."""
+        objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+        return sum(1 for design, obj in zip(designs, objectives) if self.add(design, obj))
+
+    def _truncate(self) -> None:
+        if self.max_size is None or len(self._designs) <= self.max_size:
+            return
+        while len(self._designs) > self.max_size:
+            distances = crowding_distance(np.asarray(self._objectives))
+            victim = int(np.argmin(distances))
+            del self._designs[victim]
+            del self._objectives[victim]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._designs)
+
+    def __iter__(self) -> Iterator[tuple[Any, np.ndarray]]:
+        return iter(zip(self._designs, [o.copy() for o in self._objectives]))
+
+    @property
+    def designs(self) -> list[Any]:
+        """The archived designs."""
+        return list(self._designs)
+
+    @property
+    def objectives(self) -> np.ndarray:
+        """The archived objective vectors as an ``n x M`` matrix."""
+        if not self._objectives:
+            return np.empty((0, 0))
+        return np.asarray(self._objectives, dtype=np.float64).copy()
+
+    def ideal_point(self) -> np.ndarray:
+        """Componentwise best objective values across the archive."""
+        if not self._objectives:
+            raise ValueError("the archive is empty")
+        return self.objectives.min(axis=0)
+
+    def best_for_weight(self, weight: np.ndarray, reference: np.ndarray) -> tuple[Any, np.ndarray]:
+        """Archived member with the best Tchebycheff value for a weight vector."""
+        from repro.moo.scalarization import tchebycheff
+
+        if not self._objectives:
+            raise ValueError("the archive is empty")
+        values = [tchebycheff(obj, weight, reference) for obj in self._objectives]
+        best = int(np.argmin(values))
+        return self._designs[best], self._objectives[best].copy()

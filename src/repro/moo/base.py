@@ -1,0 +1,131 @@
+"""Shared machinery for population-based optimisers.
+
+Provides population bookkeeping, snapshot recording and ideal-point tracking
+so the individual algorithms (MOEA/D, NSGA-II, MOOS, MOO-STAGE, MOELA) only
+implement their own iteration logic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.moo.archive import ParetoArchive
+from repro.moo.dominance import non_dominated_mask
+from repro.moo.problem import Problem
+from repro.moo.result import OptimizationResult, SearchSnapshot
+from repro.moo.termination import Budget, StopWatch
+from repro.utils.rng import ensure_rng
+
+
+class PopulationOptimizer:
+    """Base class for optimisers that evolve a fixed-size population.
+
+    Besides the working population, every optimiser maintains a bounded
+    archive of the non-dominated designs it has *evaluated* (the standard
+    offline-performance protocol).  History snapshots and the reported "front
+    at the stop budget" come from this archive, so PHV comparisons between
+    algorithms measure search quality under exactly the same bookkeeping.
+    """
+
+    name = "base"
+
+    def __init__(self, problem: Problem, population_size: int = 50, rng=None):
+        if population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        self.problem = problem
+        self.population_size = population_size
+        self.rng = ensure_rng(rng)
+        self.designs: list[Any] = []
+        self.objectives: np.ndarray = np.empty((0, problem.num_objectives))
+        self.archive = ParetoArchive(max_size=population_size)
+        self.evaluations = 0
+        self.history: list[SearchSnapshot] = []
+        self._watch: StopWatch | None = None
+
+    # ------------------------------------------------------------------ #
+    # Template method
+    # ------------------------------------------------------------------ #
+    def run(self, budget: Budget) -> OptimizationResult:
+        """Run the optimiser until the budget is exhausted."""
+        self._watch = StopWatch()
+        self.evaluations = 0
+        self.history = []
+        self.initialize()
+        self.record_snapshot(iteration=0)
+        iteration = 0
+        while not budget.exhausted(iteration, self.evaluations, self._watch.elapsed()):
+            iteration += 1
+            self.step(iteration, budget)
+            self.record_snapshot(iteration)
+        return self.build_result()
+
+    def initialize(self) -> None:
+        """Create and evaluate the initial population (random by default)."""
+        self.designs = [self.problem.random_design(self.rng) for _ in range(self.population_size)]
+        self.objectives = np.array(
+            [self.evaluate(d) for d in self.designs], dtype=np.float64
+        )
+
+    def step(self, iteration: int, budget: Budget) -> None:
+        """One iteration of the algorithm (must be overridden)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def evaluate(self, design: Any) -> np.ndarray:
+        """Evaluate a design, count the evaluation and archive it if non-dominated."""
+        self.evaluations += 1
+        objectives = np.asarray(self.problem.evaluate(design), dtype=np.float64)
+        self.archive.add(design, objectives)
+        return objectives
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`run` started."""
+        return self._watch.elapsed() if self._watch is not None else 0.0
+
+    def current_front(self) -> np.ndarray:
+        """Non-dominated front of the designs evaluated so far (archive-based)."""
+        if len(self.archive):
+            return self.archive.objectives
+        if len(self.objectives) == 0:
+            return self.objectives
+        return self.objectives[non_dominated_mask(self.objectives)]
+
+    def ideal_point(self) -> np.ndarray:
+        """Componentwise minimum of the current population objectives."""
+        return self.objectives.min(axis=0)
+
+    def record_snapshot(self, iteration: int) -> None:
+        """Append a history snapshot of the current front."""
+        self.history.append(
+            SearchSnapshot(
+                iteration=iteration,
+                evaluations=self.evaluations,
+                elapsed_seconds=self.elapsed(),
+                front=self.current_front().copy(),
+            )
+        )
+
+    def build_result(self) -> OptimizationResult:
+        """Assemble the :class:`OptimizationResult` for the finished run.
+
+        ``designs``/``objectives`` are the final population (the ``N`` designs
+        the paper's Algorithm 1 returns); the archived non-dominated set is
+        attached as ``metadata["archive_designs"]`` and backs the last history
+        snapshot.
+        """
+        result = OptimizationResult(
+            algorithm=self.name,
+            problem_name=getattr(self.problem, "name", type(self.problem).__name__),
+            designs=list(self.designs),
+            objectives=self.objectives.copy(),
+            history=list(self.history),
+            evaluations=self.evaluations,
+            elapsed_seconds=self.elapsed(),
+        )
+        result.metadata["archive_designs"] = self.archive.designs
+        result.metadata["archive_objectives"] = self.archive.objectives
+        return result

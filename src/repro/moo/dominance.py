@@ -1,0 +1,96 @@
+"""Pareto-dominance utilities (minimisation convention throughout).
+
+A vector ``a`` dominates ``b`` when it is no worse in every objective and
+strictly better in at least one.  These functions back the Pareto archive,
+NSGA-II's non-dominated sorting and the hypervolume routines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dominates(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"objective vectors must have the same shape: {a.shape} vs {b.shape}")
+    return bool(np.all(a <= b) and np.any(a < b))
+
+
+def non_dominated_mask(objectives: np.ndarray) -> np.ndarray:
+    """Boolean mask of the non-dominated rows of an ``n x M`` objective matrix."""
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    n = len(objectives)
+    mask = np.ones(n, dtype=bool)
+    for i in range(n):
+        if not mask[i]:
+            continue
+        for j in range(n):
+            if i == j or not mask[j]:
+                continue
+            if dominates(objectives[j], objectives[i]):
+                mask[i] = False
+                break
+    return mask
+
+
+def non_dominated_front(objectives: np.ndarray) -> np.ndarray:
+    """The non-dominated rows of an objective matrix (duplicates preserved)."""
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    return objectives[non_dominated_mask(objectives)]
+
+
+def fast_non_dominated_sort(objectives: np.ndarray) -> list[list[int]]:
+    """NSGA-II fast non-dominated sorting.
+
+    Returns the list of fronts; each front is a list of row indices, the first
+    front being the non-dominated set.
+    """
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    n = len(objectives)
+    dominated_by: list[list[int]] = [[] for _ in range(n)]
+    domination_count = np.zeros(n, dtype=np.int64)
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if dominates(objectives[i], objectives[j]):
+                dominated_by[i].append(j)
+                domination_count[j] += 1
+            elif dominates(objectives[j], objectives[i]):
+                dominated_by[j].append(i)
+                domination_count[i] += 1
+
+    fronts: list[list[int]] = [[i for i in range(n) if domination_count[i] == 0]]
+    current = 0
+    while fronts[current]:
+        next_front: list[int] = []
+        for i in fronts[current]:
+            for j in dominated_by[i]:
+                domination_count[j] -= 1
+                if domination_count[j] == 0:
+                    next_front.append(j)
+        current += 1
+        fronts.append(next_front)
+    fronts.pop()  # the last front is always empty
+    return fronts
+
+
+def crowding_distance(objectives: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance of each row within one front."""
+    objectives = np.atleast_2d(np.asarray(objectives, dtype=np.float64))
+    n, m = objectives.shape
+    distance = np.zeros(n, dtype=np.float64)
+    if n <= 2:
+        return np.full(n, np.inf)
+    for obj in range(m):
+        order = np.argsort(objectives[:, obj], kind="stable")
+        sorted_values = objectives[order, obj]
+        span = sorted_values[-1] - sorted_values[0]
+        distance[order[0]] = np.inf
+        distance[order[-1]] = np.inf
+        if span == 0:
+            continue
+        distance[order[1:-1]] += (sorted_values[2:] - sorted_values[:-2]) / span
+    return distance

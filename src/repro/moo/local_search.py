@@ -1,0 +1,119 @@
+"""Generic greedy-descent local search over a problem's neighbourhood structure.
+
+Used by MOELA (descending the weighted-sum scalarisation of Eq. 8), by the
+MOO-STAGE/MOOS baselines (descending a PHV-based acceptance function), and by
+the pure local-search baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.moo.problem import Problem
+from repro.utils.rng import ensure_rng
+
+ScalarFn = Callable[[Any, np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One visited design during a local search."""
+
+    design: Any
+    objectives: np.ndarray
+    value: float
+
+
+@dataclass(frozen=True)
+class LocalSearchResult:
+    """Outcome of one greedy-descent local search."""
+
+    best_design: Any
+    best_objectives: np.ndarray
+    best_value: float
+    start_value: float
+    trajectory: tuple[TrajectoryPoint, ...]
+    evaluations: int
+
+    @property
+    def improvement(self) -> float:
+        """Absolute improvement of the scalar value over the start design."""
+        return self.start_value - self.best_value
+
+
+def greedy_descent(
+    problem: Problem,
+    start: Any,
+    start_objectives: np.ndarray,
+    scalar_fn: ScalarFn,
+    max_steps: int = 25,
+    neighbors_per_step: int = 4,
+    patience: int = 3,
+    rng=None,
+    evaluate: Callable[[Any], np.ndarray] | None = None,
+) -> LocalSearchResult:
+    """Greedy first/best-improvement descent on ``scalar_fn``.
+
+    At every step ``neighbors_per_step`` random neighbours of the current
+    design are evaluated and the best one is accepted if it improves the
+    scalar value; the search stops after ``patience`` consecutive
+    non-improving steps or ``max_steps`` steps.
+
+    Parameters
+    ----------
+    scalar_fn:
+        Maps ``(design, objectives)`` to the scalar value being minimised.
+    evaluate:
+        Objective evaluation callable; defaults to ``problem.evaluate`` (pass
+        the optimiser's counting wrapper to track evaluation effort).
+    """
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    if neighbors_per_step < 1:
+        raise ValueError("neighbors_per_step must be >= 1")
+    rng = ensure_rng(rng)
+    evaluate = evaluate if evaluate is not None else problem.evaluate
+
+    current = start
+    current_obj = np.asarray(start_objectives, dtype=np.float64)
+    current_value = float(scalar_fn(current, current_obj))
+    start_value = current_value
+    trajectory = [TrajectoryPoint(current, current_obj.copy(), current_value)]
+    evaluations = 0
+    stall = 0
+
+    for _ in range(max_steps):
+        best_candidate = None
+        best_candidate_obj = None
+        best_candidate_value = current_value
+        for _ in range(neighbors_per_step):
+            candidate = problem.neighbor(current, rng)
+            candidate_obj = np.asarray(evaluate(candidate), dtype=np.float64)
+            evaluations += 1
+            value = float(scalar_fn(candidate, candidate_obj))
+            trajectory.append(TrajectoryPoint(candidate, candidate_obj.copy(), value))
+            if value < best_candidate_value:
+                best_candidate = candidate
+                best_candidate_obj = candidate_obj
+                best_candidate_value = value
+        if best_candidate is None:
+            stall += 1
+            if stall >= patience:
+                break
+        else:
+            stall = 0
+            current = best_candidate
+            current_obj = best_candidate_obj
+            current_value = best_candidate_value
+
+    return LocalSearchResult(
+        best_design=current,
+        best_objectives=current_obj.copy(),
+        best_value=current_value,
+        start_value=start_value,
+        trajectory=tuple(trajectory),
+        evaluations=evaluations,
+    )

@@ -1,0 +1,108 @@
+"""Search budgets and convergence detection.
+
+The paper bounds every algorithm by a wall-clock stop time ``T_stop`` and
+declares convergence when the PHV improves by less than 0.5 % over five
+iterations (Section V.C).  :class:`Budget` generalises the stop condition to
+iterations / evaluations / seconds so the reduced benchmark harness can use a
+deterministic evaluation budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Stop conditions for one optimisation run (any satisfied condition stops)."""
+
+    max_iterations: int | None = None
+    max_evaluations: int | None = None
+    max_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_iterations is None and self.max_evaluations is None and self.max_seconds is None:
+            raise ValueError("a budget needs at least one stop condition")
+        if self.max_iterations is not None and self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be > 0")
+
+    def exhausted(self, iterations: int, evaluations: int, elapsed_seconds: float) -> bool:
+        """True when any configured limit has been reached."""
+        if self.max_iterations is not None and iterations >= self.max_iterations:
+            return True
+        if self.max_evaluations is not None and evaluations >= self.max_evaluations:
+            return True
+        if self.max_seconds is not None and elapsed_seconds >= self.max_seconds:
+            return True
+        return False
+
+    @classmethod
+    def iterations(cls, count: int) -> "Budget":
+        """Budget limited only by iteration count."""
+        return cls(max_iterations=count)
+
+    @classmethod
+    def evaluations(cls, count: int) -> "Budget":
+        """Budget limited only by objective evaluations."""
+        return cls(max_evaluations=count)
+
+    @classmethod
+    def seconds(cls, seconds: float) -> "Budget":
+        """Budget limited only by wall-clock time (the paper's ``T_stop``)."""
+        return cls(max_seconds=seconds)
+
+
+class ConvergenceDetector:
+    """Sliding-window relative-improvement convergence test.
+
+    ``update(value)`` returns True once the monitored value (PHV) has improved
+    by less than ``tolerance`` (relative) over the last ``window`` updates —
+    the paper's "<0.5 % improvement in 5 iterations" criterion.
+    """
+
+    def __init__(self, window: int = 5, tolerance: float = 0.005):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if tolerance < 0:
+            raise ValueError("tolerance must be >= 0")
+        self.window = window
+        self.tolerance = tolerance
+        self._values: list[float] = []
+        self.converged_at: int | None = None
+
+    def update(self, value: float) -> bool:
+        """Record a new value; returns True when convergence is (or was) reached."""
+        self._values.append(float(value))
+        if self.converged_at is not None:
+            return True
+        if len(self._values) <= self.window:
+            return False
+        baseline = self._values[-1 - self.window]
+        current = self._values[-1]
+        if baseline <= 0:
+            return False
+        if (current - baseline) / baseline < self.tolerance:
+            self.converged_at = len(self._values) - 1
+            return True
+        return False
+
+    @property
+    def values(self) -> list[float]:
+        """All recorded values in order."""
+        return list(self._values)
+
+
+class StopWatch:
+    """Tiny wall-clock helper shared by the optimisers."""
+
+    def __init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction."""
+        return time.perf_counter() - self._start

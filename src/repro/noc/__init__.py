@@ -1,0 +1,27 @@
+"""3D NoC platform model: tiles, links, designs, constraints, routing and moves."""
+
+from repro.noc.design import NocDesign
+from repro.noc.geometry import Grid3D, TileCoord
+from repro.noc.links import Link, LinkKind, candidate_planar_links, candidate_vertical_links
+from repro.noc.mesh import mesh_design, mesh_links
+from repro.noc.platform import PEType, PlatformConfig
+from repro.noc.constraints import ConstraintChecker, ConstraintViolation, random_design
+from repro.noc.routing import RoutingTables
+
+__all__ = [
+    "ConstraintChecker",
+    "ConstraintViolation",
+    "Grid3D",
+    "Link",
+    "LinkKind",
+    "NocDesign",
+    "PEType",
+    "PlatformConfig",
+    "RoutingTables",
+    "TileCoord",
+    "candidate_planar_links",
+    "candidate_vertical_links",
+    "mesh_design",
+    "mesh_links",
+    "random_design",
+]

@@ -1,0 +1,462 @@
+"""Constraint checking, feasible-design generation and repair.
+
+Section III of the paper defines the feasibility constraints of the design
+problem:
+
+1. every tile must be able to reach every other tile (connectivity);
+2. the total number of links is fixed (planar and vertical budgets);
+3. planar links are at most ``max_planar_length`` units long and every router
+   has at most ``max_router_degree`` links attached;
+4. at most one vertical link exists between vertically adjacent tiles (links
+   between non-adjacent layers or diagonal links are not allowed);
+5. LLC tiles must sit on the perimeter of their die (memory-controller
+   interfacing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.noc.design import NocDesign
+from repro.noc.links import (
+    Link,
+    LinkKind,
+    candidate_planar_links,
+    candidate_vertical_links,
+    is_feasible_link,
+    link_kind,
+)
+from repro.noc.platform import PEType, PlatformConfig
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class ConstraintViolation:
+    """A single constraint violation with a human-readable description."""
+
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.code}] {self.message}"
+
+
+def is_connected(design: NocDesign) -> bool:
+    """True when the link placement connects every tile to every other tile."""
+    if design.num_tiles == 0:
+        return True
+    adjacency = design.adjacency()
+    seen = {0}
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        for neighbor in adjacency[node]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return len(seen) == design.num_tiles
+
+
+class ConstraintChecker:
+    """Validate designs against the platform constraints of Section III."""
+
+    def __init__(self, config: PlatformConfig):
+        self.config = config
+        self.grid = config.grid
+
+    def violations(self, design: NocDesign) -> list[ConstraintViolation]:
+        """Return every constraint violation of ``design`` (empty list == feasible)."""
+        found: list[ConstraintViolation] = []
+        found.extend(self._placement_violations(design))
+        found.extend(self._link_violations(design))
+        if not is_connected(design):
+            found.append(
+                ConstraintViolation("connectivity", "the link placement is not a connected network")
+            )
+        return found
+
+    def is_feasible(self, design: NocDesign) -> bool:
+        """True when the design satisfies every constraint."""
+        return not self.violations(design)
+
+    def check(self, design: NocDesign) -> None:
+        """Raise ``ValueError`` listing all violations if the design is infeasible."""
+        found = self.violations(design)
+        if found:
+            details = "; ".join(str(v) for v in found)
+            raise ValueError(f"infeasible design: {details}")
+
+    # ------------------------------------------------------------------ #
+    # Individual checks
+    # ------------------------------------------------------------------ #
+    def _placement_violations(self, design: NocDesign) -> list[ConstraintViolation]:
+        config = self.config
+        found: list[ConstraintViolation] = []
+        if design.num_tiles != config.num_tiles:
+            found.append(
+                ConstraintViolation(
+                    "placement-size",
+                    f"placement has {design.num_tiles} tiles, platform has {config.num_tiles}",
+                )
+            )
+            return found
+        placement = design.placement_array()
+        if sorted(placement.tolist()) != list(range(config.num_tiles)):
+            found.append(
+                ConstraintViolation(
+                    "placement-permutation",
+                    "placement is not a permutation of the logical PE ids",
+                )
+            )
+            return found
+        for tile_id, pe_id in enumerate(placement):
+            if config.pe_type(int(pe_id)) is PEType.LLC and not self.grid.is_edge_tile(tile_id):
+                found.append(
+                    ConstraintViolation(
+                        "llc-edge",
+                        f"LLC PE {int(pe_id)} is placed on interior tile {tile_id}",
+                    )
+                )
+        return found
+
+    def _link_violations(self, design: NocDesign) -> list[ConstraintViolation]:
+        config = self.config
+        found: list[ConstraintViolation] = []
+        if len(set(design.links)) != len(design.links):
+            found.append(ConstraintViolation("duplicate-link", "duplicate links present"))
+        planar = 0
+        vertical = 0
+        for link in design.links:
+            if link.a >= config.num_tiles or link.b >= config.num_tiles:
+                found.append(
+                    ConstraintViolation("link-range", f"{link} references a tile outside the grid")
+                )
+                continue
+            if not is_feasible_link(link, config):
+                found.append(
+                    ConstraintViolation(
+                        "link-shape",
+                        f"{link} violates the planar-length/vertical-adjacency rules",
+                    )
+                )
+                continue
+            if link_kind(link, self.grid) is LinkKind.PLANAR:
+                planar += 1
+            else:
+                vertical += 1
+        if planar != config.num_planar_links:
+            found.append(
+                ConstraintViolation(
+                    "planar-budget",
+                    f"design uses {planar} planar links, budget is {config.num_planar_links}",
+                )
+            )
+        if vertical != config.num_vertical_links:
+            found.append(
+                ConstraintViolation(
+                    "vertical-budget",
+                    f"design uses {vertical} vertical links, budget is {config.num_vertical_links}",
+                )
+            )
+        degrees = design.degrees()
+        for tile_id in np.flatnonzero(degrees > config.max_router_degree):
+            found.append(
+                ConstraintViolation(
+                    "router-degree",
+                    f"router at tile {int(tile_id)} has degree {int(degrees[tile_id])} "
+                    f"(max {config.max_router_degree})",
+                )
+            )
+        return found
+
+
+# ---------------------------------------------------------------------- #
+# Feasible design generation
+# ---------------------------------------------------------------------- #
+def random_placement(config: PlatformConfig, rng=None) -> tuple[int, ...]:
+    """Generate a random PE placement with LLCs restricted to edge tiles."""
+    rng = ensure_rng(rng)
+    grid = config.grid
+    edge_tiles = grid.edge_tiles()
+    llc_tiles = rng.choice(edge_tiles, size=config.num_llcs, replace=False)
+    llc_tiles_set = set(int(t) for t in llc_tiles)
+    other_tiles = [t for t in range(config.num_tiles) if t not in llc_tiles_set]
+    other_pes = np.concatenate([config.cpu_ids, config.gpu_ids])
+    rng.shuffle(other_pes)
+    placement = np.empty(config.num_tiles, dtype=np.int64)
+    llc_pes = config.llc_ids.copy()
+    rng.shuffle(llc_pes)
+    for tile_id, pe_id in zip(sorted(llc_tiles_set), llc_pes):
+        placement[tile_id] = pe_id
+    for tile_id, pe_id in zip(other_tiles, other_pes):
+        placement[tile_id] = pe_id
+    return tuple(int(p) for p in placement)
+
+
+def random_link_placement(config: PlatformConfig, rng=None) -> tuple[Link, ...]:
+    """Generate a random feasible link placement.
+
+    The generator first grows a random spanning tree over all tiles (which
+    guarantees connectivity), then fills the remaining planar/vertical budgets
+    with random unused candidate links, always respecting the router-degree
+    cap.
+    """
+    rng = ensure_rng(rng)
+    grid = config.grid
+    planar_candidates = candidate_planar_links(config)
+    vertical_candidates = candidate_vertical_links(config)
+
+    degrees = np.zeros(config.num_tiles, dtype=np.int64)
+    chosen: set[Link] = set()
+    planar_used = 0
+    vertical_used = 0
+
+    # -- random spanning tree (randomised Prim) ------------------------- #
+    by_endpoint: dict[int, list[Link]] = {t: [] for t in range(config.num_tiles)}
+    for link in planar_candidates + vertical_candidates:
+        by_endpoint[link.a].append(link)
+        by_endpoint[link.b].append(link)
+
+    in_tree = {int(rng.integers(config.num_tiles))}
+    frontier: list[Link] = list(by_endpoint[next(iter(in_tree))])
+    while len(in_tree) < config.num_tiles:
+        if not frontier:
+            raise RuntimeError("candidate link set cannot connect all tiles")
+        idx = int(rng.integers(len(frontier)))
+        link = frontier.pop(idx)
+        inside_a, inside_b = link.a in in_tree, link.b in in_tree
+        if inside_a == inside_b:
+            continue
+        if degrees[link.a] >= config.max_router_degree or degrees[link.b] >= config.max_router_degree:
+            continue
+        kind = link_kind(link, grid)
+        if kind is LinkKind.PLANAR and planar_used >= config.num_planar_links:
+            continue
+        if kind is LinkKind.VERTICAL and vertical_used >= config.num_vertical_links:
+            continue
+        chosen.add(link)
+        degrees[link.a] += 1
+        degrees[link.b] += 1
+        if kind is LinkKind.PLANAR:
+            planar_used += 1
+        else:
+            vertical_used += 1
+        new_node = link.b if inside_a else link.a
+        in_tree.add(new_node)
+        frontier.extend(by_endpoint[new_node])
+
+    # -- fill the remaining budgets -------------------------------------- #
+    def fill(candidates: list[Link], remaining: int) -> int:
+        order = rng.permutation(len(candidates))
+        added = 0
+        for idx in order:
+            if added >= remaining:
+                break
+            link = candidates[int(idx)]
+            if link in chosen:
+                continue
+            if degrees[link.a] >= config.max_router_degree or degrees[link.b] >= config.max_router_degree:
+                continue
+            chosen.add(link)
+            degrees[link.a] += 1
+            degrees[link.b] += 1
+            added += 1
+        return added
+
+    planar_used += fill(planar_candidates, config.num_planar_links - planar_used)
+    vertical_used += fill(vertical_candidates, config.num_vertical_links - vertical_used)
+
+    if planar_used != config.num_planar_links or vertical_used != config.num_vertical_links:
+        # Degree caps can very occasionally starve the fill; relax by retrying
+        # with a different spanning tree rather than returning an infeasible
+        # design.
+        return random_link_placement(config, rng)
+    return tuple(sorted(chosen))
+
+
+def random_design(config: PlatformConfig, rng=None) -> NocDesign:
+    """Generate a random design satisfying every constraint of Section III."""
+    rng = ensure_rng(rng)
+    design = NocDesign(
+        placement=random_placement(config, rng),
+        links=random_link_placement(config, rng),
+    )
+    return design
+
+
+def random_designs(config: PlatformConfig, count: int, rng=None) -> list[NocDesign]:
+    """Generate ``count`` independent random feasible designs."""
+    rng = ensure_rng(rng)
+    return [random_design(config, rng) for _ in range(count)]
+
+
+def repair_links(
+    design: NocDesign, config: PlatformConfig, rng=None
+) -> NocDesign:
+    """Repair a design whose link placement violates budgets/degree/connectivity.
+
+    The repair keeps as many of the existing links as possible: infeasible
+    links are dropped, budget overshoot is trimmed at random, missing links
+    are added from the candidate pools, and connectivity is restored by
+    swapping in bridging links.  The placement is left untouched.
+    """
+    rng = ensure_rng(rng)
+    grid = config.grid
+    checker = ConstraintChecker(config)
+
+    kept: list[Link] = [link for link in set(design.links) if is_feasible_link(link, config)]
+    planar = [link for link in kept if link_kind(link, grid) is LinkKind.PLANAR]
+    vertical = [link for link in kept if link_kind(link, grid) is LinkKind.VERTICAL]
+
+    def trim(links: list[Link], budget: int) -> list[Link]:
+        if len(links) <= budget:
+            return links
+        order = rng.permutation(len(links))
+        return [links[int(i)] for i in order[:budget]]
+
+    planar = trim(planar, config.num_planar_links)
+    vertical = trim(vertical, config.num_vertical_links)
+
+    candidate = NocDesign(placement=design.placement, links=tuple(planar + vertical))
+    candidate = _enforce_degree_cap(candidate, config, rng)
+    candidate = _fill_budgets(candidate, config, rng)
+    candidate = _restore_connectivity(candidate, config, rng)
+
+    if not checker.is_feasible(candidate):
+        # Fall back to a fresh random link placement; this keeps the repair
+        # total-function even for pathological inputs.
+        candidate = NocDesign(
+            placement=design.placement, links=random_link_placement(config, rng)
+        )
+    return candidate
+
+
+def _enforce_degree_cap(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
+    links = list(design.links)
+    degrees = design.degrees()
+    over = [int(t) for t in np.flatnonzero(degrees > config.max_router_degree)]
+    if not over:
+        return design
+    rng.shuffle(links)
+    kept: list[Link] = []
+    counts = np.zeros(config.num_tiles, dtype=np.int64)
+    for link in links:
+        if counts[link.a] >= config.max_router_degree or counts[link.b] >= config.max_router_degree:
+            continue
+        kept.append(link)
+        counts[link.a] += 1
+        counts[link.b] += 1
+    return NocDesign(placement=design.placement, links=tuple(kept))
+
+
+def _fill_budgets(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
+    grid = config.grid
+    links = set(design.links)
+    degrees = design.degrees()
+    partition = design.links_by_kind(grid)
+    needs = {
+        LinkKind.PLANAR: config.num_planar_links - len(partition[LinkKind.PLANAR]),
+        LinkKind.VERTICAL: config.num_vertical_links - len(partition[LinkKind.VERTICAL]),
+    }
+    pools = {
+        LinkKind.PLANAR: candidate_planar_links(config),
+        LinkKind.VERTICAL: candidate_vertical_links(config),
+    }
+    for kind, needed in needs.items():
+        if needed <= 0:
+            continue
+        pool = pools[kind]
+        order = rng.permutation(len(pool))
+        added = 0
+        for idx in order:
+            if added >= needed:
+                break
+            link = pool[int(idx)]
+            if link in links:
+                continue
+            if degrees[link.a] >= config.max_router_degree or degrees[link.b] >= config.max_router_degree:
+                continue
+            links.add(link)
+            degrees[link.a] += 1
+            degrees[link.b] += 1
+            added += 1
+    return NocDesign(placement=design.placement, links=tuple(links))
+
+
+def _restore_connectivity(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
+    """Swap links until the network is connected, preserving per-kind budgets."""
+    grid = config.grid
+    max_attempts = 4 * config.num_links
+    current = design
+    attempts = 0
+    while not is_connected(current) and attempts < max_attempts:
+        attempts += 1
+        components = _components(current)
+        # Pick the component containing tile 0 and try to bridge it to any other.
+        main = components[0]
+        others = [tile for comp in components[1:] for tile in comp]
+        bridge = _find_bridge(main, others, current, config, rng)
+        if bridge is None:
+            break
+        kind = link_kind(bridge, grid)
+        removable = [
+            link
+            for link in current.links
+            if link_kind(link, grid) is kind and _is_redundant(link, current)
+        ]
+        if not removable:
+            removable = [link for link in current.links if link_kind(link, grid) is kind]
+        victim = removable[int(rng.integers(len(removable)))]
+        links = set(current.links)
+        links.discard(victim)
+        links.add(bridge)
+        current = NocDesign(placement=current.placement, links=tuple(links))
+    return current
+
+
+def _components(design: NocDesign) -> list[list[int]]:
+    adjacency = design.adjacency()
+    seen: set[int] = set()
+    components: list[list[int]] = []
+    for start in range(design.num_tiles):
+        if start in seen:
+            continue
+        stack = [start]
+        component = []
+        seen.add(start)
+        while stack:
+            node = stack.pop()
+            component.append(node)
+            for neighbor in adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        components.append(sorted(component))
+    return components
+
+
+def _find_bridge(main: Iterable[int], others: Iterable[int], design: NocDesign, config: PlatformConfig, rng):
+    degrees = design.degrees()
+    main_list = list(main)
+    other_list = list(others)
+    rng.shuffle(main_list)
+    rng.shuffle(other_list)
+    for a in main_list:
+        for b in other_list:
+            link = Link.make(a, b)
+            if not is_feasible_link(link, config):
+                continue
+            if degrees[a] >= config.max_router_degree or degrees[b] >= config.max_router_degree:
+                continue
+            return link
+    return None
+
+
+def _is_redundant(link: Link, design: NocDesign) -> bool:
+    """True when removing ``link`` keeps the network connected."""
+    remaining = tuple(l for l in design.links if l != link)
+    trimmed = NocDesign(placement=design.placement, links=remaining)
+    return is_connected(trimmed)

@@ -1,0 +1,173 @@
+"""Design encoding: a PE placement plus a link placement.
+
+A :class:`NocDesign` is one point of the design space explored by MOELA and
+the baseline optimisers.  It consists of
+
+* ``placement`` — an array of length ``num_tiles`` where ``placement[t]`` is
+  the logical PE id hosted by tile ``t`` (a permutation of ``0..A-1``), and
+* ``links`` — the set of communication links, stored as a sorted tuple of
+  :class:`~repro.noc.links.Link`.
+
+Designs are immutable value objects: move operators and crossover return new
+designs.  They hash on their canonical encoding so evaluators can cache
+objective vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.noc.geometry import Grid3D
+from repro.noc.links import Link, LinkKind, link_kind, link_length
+from repro.noc.platform import PEType, PlatformConfig
+
+
+@dataclass(frozen=True)
+class NocDesign:
+    """One candidate 3D NoC design (tile placement + link placement)."""
+
+    placement: tuple[int, ...]
+    links: tuple[Link, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "placement", tuple(int(p) for p in self.placement))
+        object.__setattr__(self, "links", tuple(sorted(self.links)))
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_arrays(
+        cls, placement: Sequence[int], links: Iterable[tuple[int, int] | Link]
+    ) -> "NocDesign":
+        """Build a design from a placement sequence and link endpoint pairs."""
+        normalized = tuple(
+            link if isinstance(link, Link) else Link.make(int(link[0]), int(link[1]))
+            for link in links
+        )
+        return cls(placement=tuple(int(p) for p in placement), links=normalized)
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    @property
+    def num_tiles(self) -> int:
+        """Number of tiles in the design."""
+        return len(self.placement)
+
+    @property
+    def num_links(self) -> int:
+        """Number of links in the design."""
+        return len(self.links)
+
+    def pe_at(self, tile_id: int) -> int:
+        """Logical PE id hosted by ``tile_id``."""
+        return self.placement[tile_id]
+
+    def tile_of(self, pe_id: int) -> int:
+        """Tile hosting logical PE ``pe_id``."""
+        return self.tile_of_pe()[pe_id]
+
+    def tile_of_pe(self) -> np.ndarray:
+        """Inverse placement: ``tile_of_pe()[pe] -> tile``."""
+        inverse = np.empty(self.num_tiles, dtype=np.int64)
+        inverse[np.asarray(self.placement, dtype=np.int64)] = np.arange(self.num_tiles)
+        return inverse
+
+    def placement_array(self) -> np.ndarray:
+        """Placement as a numpy array (tile -> PE)."""
+        return np.asarray(self.placement, dtype=np.int64)
+
+    def link_set(self) -> frozenset[Link]:
+        """The links as a frozen set for membership tests."""
+        return frozenset(self.links)
+
+    def has_link(self, a: int, b: int) -> bool:
+        """True when a link between tiles ``a`` and ``b`` exists."""
+        return Link.make(a, b) in self.link_set()
+
+    def adjacency(self) -> dict[int, list[int]]:
+        """Adjacency lists over tiles induced by the link placement."""
+        adj: dict[int, list[int]] = {t: [] for t in range(self.num_tiles)}
+        for link in self.links:
+            adj[link.a].append(link.b)
+            adj[link.b].append(link.a)
+        return adj
+
+    def degrees(self) -> np.ndarray:
+        """Router degree (number of attached links) for every tile."""
+        degrees = np.zeros(self.num_tiles, dtype=np.int64)
+        for link in self.links:
+            degrees[link.a] += 1
+            degrees[link.b] += 1
+        return degrees
+
+    def links_by_kind(self, grid: Grid3D) -> dict[LinkKind, list[Link]]:
+        """Partition the links into planar and vertical groups."""
+        partition: dict[LinkKind, list[Link]] = {LinkKind.PLANAR: [], LinkKind.VERTICAL: []}
+        for link in self.links:
+            partition[link_kind(link, grid)].append(link)
+        return partition
+
+    def link_lengths(self, grid: Grid3D) -> np.ndarray:
+        """Physical length of every link (``d_k``), in link order."""
+        return np.array([link_length(link, grid) for link in self.links], dtype=np.float64)
+
+    def tiles_of_type(self, config: PlatformConfig, pe_type: PEType) -> list[int]:
+        """Tiles hosting PEs of the given type."""
+        return [t for t, pe in enumerate(self.placement) if config.pe_type(pe) is pe_type]
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def key(self) -> tuple:
+        """Canonical hashable key for caching objective evaluations."""
+        return (self.placement, self.links)
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NocDesign) and self.key() == other.key()
+
+    def __repr__(self) -> str:
+        return f"NocDesign(num_tiles={self.num_tiles}, num_links={self.num_links})"
+
+
+@dataclass(frozen=True)
+class DesignSummary:
+    """Lightweight structural statistics of a design (used by featurisers and reports)."""
+
+    num_tiles: int
+    num_links: int
+    num_planar_links: int
+    num_vertical_links: int
+    mean_link_length: float
+    max_link_length: int
+    mean_degree: float
+    max_degree: int
+    connected: bool = field(default=True)
+
+
+def summarize(design: NocDesign, config: PlatformConfig) -> DesignSummary:
+    """Compute structural statistics for a design."""
+    grid = config.grid
+    partition = design.links_by_kind(grid)
+    lengths = design.link_lengths(grid)
+    degrees = design.degrees()
+    from repro.noc.constraints import is_connected  # local import to avoid a cycle
+
+    return DesignSummary(
+        num_tiles=design.num_tiles,
+        num_links=design.num_links,
+        num_planar_links=len(partition[LinkKind.PLANAR]),
+        num_vertical_links=len(partition[LinkKind.VERTICAL]),
+        mean_link_length=float(lengths.mean()) if len(lengths) else 0.0,
+        max_link_length=int(lengths.max()) if len(lengths) else 0,
+        mean_degree=float(degrees.mean()),
+        max_degree=int(degrees.max()),
+        connected=is_connected(design),
+    )

@@ -1,0 +1,162 @@
+"""Geometry of the 3D tile grid.
+
+The platform is an ``N x N x Y`` stack of tiles (Section III of the paper).
+Tiles are addressed either by a linear index (``tile_id``) or by an
+``(x, y, z)`` coordinate where ``z`` is the layer.  Layer ``z = 0`` is the
+layer closest to the heat sink (the thermal model in
+:mod:`repro.objectives.thermal` counts layers away from the sink starting
+there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, order=True)
+class TileCoord:
+    """Coordinate of a tile inside the 3D grid."""
+
+    x: int
+    y: int
+    z: int
+
+    def planar_distance(self, other: "TileCoord") -> int:
+        """Manhattan distance within a layer (ignores ``z``)."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def manhattan_distance(self, other: "TileCoord") -> int:
+        """Full 3D Manhattan distance."""
+        return self.planar_distance(other) + abs(self.z - other.z)
+
+    def same_layer(self, other: "TileCoord") -> bool:
+        """True when both tiles sit on the same layer."""
+        return self.z == other.z
+
+    def same_column(self, other: "TileCoord") -> bool:
+        """True when both tiles share the same (x, y) single-tile stack."""
+        return self.x == other.x and self.y == other.y
+
+
+class Grid3D:
+    """An ``n x n x layers`` grid of tiles with linear indexing helpers."""
+
+    def __init__(self, n: int, layers: int):
+        if n <= 0:
+            raise ValueError(f"grid dimension n must be > 0, got {n}")
+        if layers <= 0:
+            raise ValueError(f"layer count must be > 0, got {layers}")
+        self.n = n
+        self.layers = layers
+
+    @property
+    def tiles_per_layer(self) -> int:
+        """Number of tiles on a single layer."""
+        return self.n * self.n
+
+    @property
+    def num_tiles(self) -> int:
+        """Total number of tiles in the stack."""
+        return self.tiles_per_layer * self.layers
+
+    @property
+    def num_columns(self) -> int:
+        """Number of single-tile stacks (columns) in the platform."""
+        return self.tiles_per_layer
+
+    def tile_id(self, coord: TileCoord) -> int:
+        """Convert a coordinate to a linear tile index."""
+        self._check_coord(coord)
+        return coord.z * self.tiles_per_layer + coord.y * self.n + coord.x
+
+    def coord(self, tile_id: int) -> TileCoord:
+        """Convert a linear tile index to a coordinate."""
+        if not (0 <= tile_id < self.num_tiles):
+            raise ValueError(f"tile_id {tile_id} out of range [0, {self.num_tiles})")
+        z, rest = divmod(tile_id, self.tiles_per_layer)
+        y, x = divmod(rest, self.n)
+        return TileCoord(x=x, y=y, z=z)
+
+    def column_id(self, tile_id: int) -> int:
+        """Return the single-tile-stack (column) index of a tile."""
+        coord = self.coord(tile_id)
+        return coord.y * self.n + coord.x
+
+    def layer_of(self, tile_id: int) -> int:
+        """Return the layer (z) of a tile."""
+        return self.coord(tile_id).z
+
+    def tiles(self) -> Iterator[int]:
+        """Iterate over all tile ids."""
+        return iter(range(self.num_tiles))
+
+    def coords(self) -> Iterator[TileCoord]:
+        """Iterate over all tile coordinates in id order."""
+        return (self.coord(t) for t in range(self.num_tiles))
+
+    def is_edge_tile(self, tile_id: int) -> bool:
+        """True when the tile is on the perimeter of its die.
+
+        LLC tiles (which embed memory controllers) must be placed on edge
+        tiles so they can interface with off-chip main memory (Section III
+        constraints).
+        """
+        coord = self.coord(tile_id)
+        return (
+            coord.x == 0
+            or coord.y == 0
+            or coord.x == self.n - 1
+            or coord.y == self.n - 1
+        )
+
+    def edge_tiles(self) -> list[int]:
+        """All tile ids located on a die perimeter."""
+        return [t for t in range(self.num_tiles) if self.is_edge_tile(t)]
+
+    def interior_tiles(self) -> list[int]:
+        """All tile ids not on a die perimeter."""
+        return [t for t in range(self.num_tiles) if not self.is_edge_tile(t)]
+
+    def planar_distance(self, a: int, b: int) -> int:
+        """Manhattan distance between two tiles within their layers."""
+        return self.coord(a).planar_distance(self.coord(b))
+
+    def manhattan_distance(self, a: int, b: int) -> int:
+        """3D Manhattan distance between two tiles."""
+        return self.coord(a).manhattan_distance(self.coord(b))
+
+    def vertical_neighbors(self, tile_id: int) -> list[int]:
+        """Tiles directly above/below ``tile_id`` (same column, adjacent layer)."""
+        coord = self.coord(tile_id)
+        neighbors = []
+        for dz in (-1, 1):
+            z = coord.z + dz
+            if 0 <= z < self.layers:
+                neighbors.append(self.tile_id(TileCoord(coord.x, coord.y, z)))
+        return neighbors
+
+    def planar_neighbors(self, tile_id: int) -> list[int]:
+        """Tiles adjacent in the same layer (NSEW neighbours)."""
+        coord = self.coord(tile_id)
+        neighbors = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            x, y = coord.x + dx, coord.y + dy
+            if 0 <= x < self.n and 0 <= y < self.n:
+                neighbors.append(self.tile_id(TileCoord(x, y, coord.z)))
+        return neighbors
+
+    def _check_coord(self, coord: TileCoord) -> None:
+        if not (0 <= coord.x < self.n and 0 <= coord.y < self.n and 0 <= coord.z < self.layers):
+            raise ValueError(
+                f"coordinate {coord} outside grid {self.n}x{self.n}x{self.layers}"
+            )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Grid3D) and self.n == other.n and self.layers == other.layers
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.layers))
+
+    def __repr__(self) -> str:
+        return f"Grid3D(n={self.n}, layers={self.layers})"

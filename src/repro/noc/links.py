@@ -1,0 +1,114 @@
+"""Communication links of the 3D NoC.
+
+Two kinds of links exist (Section III):
+
+* **planar links** connect two routers on the same layer; their Manhattan
+  length is limited to ``max_planar_length`` tile units;
+* **vertical links** (TSVs) connect two routers in the same single-tile stack
+  on adjacent layers; at most one TSV may exist between any vertical pair.
+
+A link is stored as an ordered pair of tile ids ``(a, b)`` with ``a < b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.noc.geometry import Grid3D
+from repro.noc.platform import PlatformConfig
+
+
+class LinkKind(str, Enum):
+    """Classification of a link."""
+
+    PLANAR = "planar"
+    VERTICAL = "vertical"
+
+
+@dataclass(frozen=True, order=True)
+class Link:
+    """An undirected link between two tiles (stored with ``a < b``)."""
+
+    a: int
+    b: int
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a link cannot connect a tile to itself")
+        if self.a > self.b:
+            raise ValueError("links must be stored with a < b; use Link.make()")
+
+    @classmethod
+    def make(cls, a: int, b: int) -> "Link":
+        """Create a link with endpoints normalised to ``a < b``."""
+        return cls(min(a, b), max(a, b))
+
+    def endpoints(self) -> tuple[int, int]:
+        """Return the two tile ids connected by this link."""
+        return (self.a, self.b)
+
+    def other(self, tile_id: int) -> int:
+        """Return the opposite endpoint from ``tile_id``."""
+        if tile_id == self.a:
+            return self.b
+        if tile_id == self.b:
+            return self.a
+        raise ValueError(f"tile {tile_id} is not an endpoint of {self}")
+
+
+def link_kind(link: Link, grid: Grid3D) -> LinkKind:
+    """Classify a link as planar (same layer) or vertical (same column)."""
+    ca, cb = grid.coord(link.a), grid.coord(link.b)
+    if ca.same_layer(cb):
+        return LinkKind.PLANAR
+    if ca.same_column(cb):
+        return LinkKind.VERTICAL
+    raise ValueError(f"{link} is neither planar nor vertical (diagonal links are not allowed)")
+
+
+def link_length(link: Link, grid: Grid3D) -> int:
+    """Physical length of a link in tile units (``d_k`` of the energy model)."""
+    return grid.manhattan_distance(link.a, link.b)
+
+
+def is_feasible_link(link: Link, config: PlatformConfig) -> bool:
+    """True when the link respects planar-length / vertical-adjacency rules."""
+    grid = config.grid
+    ca, cb = grid.coord(link.a), grid.coord(link.b)
+    if ca.same_layer(cb):
+        return 1 <= ca.planar_distance(cb) <= config.max_planar_length
+    if ca.same_column(cb):
+        return abs(ca.z - cb.z) == 1
+    return False
+
+
+def candidate_planar_links(config: PlatformConfig) -> list[Link]:
+    """All feasible planar links for the platform, in deterministic order."""
+    grid = config.grid
+    candidates: list[Link] = []
+    for a in range(config.num_tiles):
+        coord_a = grid.coord(a)
+        for b in range(a + 1, config.num_tiles):
+            coord_b = grid.coord(b)
+            if not coord_a.same_layer(coord_b):
+                continue
+            if 1 <= coord_a.planar_distance(coord_b) <= config.max_planar_length:
+                candidates.append(Link(a, b))
+    return candidates
+
+
+def candidate_vertical_links(config: PlatformConfig) -> list[Link]:
+    """All feasible vertical (TSV) links, i.e. every vertically adjacent tile pair."""
+    grid = config.grid
+    candidates: list[Link] = []
+    for a in range(config.num_tiles):
+        for b in grid.vertical_neighbors(a):
+            if b > a:
+                candidates.append(Link(a, b))
+    return candidates
+
+
+def candidate_links(config: PlatformConfig) -> list[Link]:
+    """All feasible links (planar then vertical), in deterministic order."""
+    return candidate_planar_links(config) + candidate_vertical_links(config)

@@ -1,0 +1,121 @@
+"""Deterministic shortest-path routing over a design's link placement.
+
+All objectives of Section III need, for every communicating tile pair
+``(i, j)``, the set of links (``p_ijk``) and routers (``r_ijk``) used by the
+route.  We use deterministic minimal routing: paths minimise hop count, with
+ties broken by physical path length and then lexicographically, so a design
+always maps to the same routes (and therefore the same objective vector).
+
+Route computation uses ``scipy.sparse.csgraph`` for the all-pairs search and
+is cached per design by the objective evaluator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import shortest_path
+
+from repro.noc.design import NocDesign
+from repro.noc.geometry import Grid3D
+from repro.noc.links import link_length
+
+
+class RoutingTables:
+    """All-pairs deterministic shortest-path routes for one design.
+
+    Parameters
+    ----------
+    design:
+        The design whose link placement defines the network graph.
+    grid:
+        The tile grid (used for physical link lengths).
+
+    Notes
+    -----
+    The edge weight used for the search is ``1 + epsilon * length`` so that
+    hop count dominates and physical length breaks ties; ``epsilon`` is small
+    enough that no sum of length terms can outweigh a single hop.
+    """
+
+    _LENGTH_EPSILON = 1e-3
+
+    def __init__(self, design: NocDesign, grid: Grid3D):
+        self.design = design
+        self.grid = grid
+        self.num_tiles = design.num_tiles
+        self.link_index: dict[tuple[int, int], int] = {}
+        lengths = []
+        rows, cols, data = [], [], []
+        for idx, link in enumerate(design.links):
+            length = link_length(link, grid)
+            lengths.append(length)
+            self.link_index[(link.a, link.b)] = idx
+            self.link_index[(link.b, link.a)] = idx
+            weight = 1.0 + self._LENGTH_EPSILON * length
+            rows.extend((link.a, link.b))
+            cols.extend((link.b, link.a))
+            data.extend((weight, weight))
+        self.link_lengths = np.asarray(lengths, dtype=np.float64)
+        graph = csr_matrix(
+            (np.asarray(data), (np.asarray(rows), np.asarray(cols))),
+            shape=(self.num_tiles, self.num_tiles),
+        )
+        dist, predecessors = shortest_path(
+            graph, method="D", directed=False, return_predecessors=True
+        )
+        self._distance = dist
+        self._predecessors = predecessors
+        self._path_cache: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_reachable(self, src: int, dst: int) -> bool:
+        """True when a route exists from ``src`` to ``dst``."""
+        return np.isfinite(self._distance[src, dst])
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of links traversed on the route (``h_ij``)."""
+        if src == dst:
+            return 0
+        return len(self.path_links(src, dst))
+
+    def path_length(self, src: int, dst: int) -> float:
+        """Total physical length of the route (``d_ij``), in tile units."""
+        links = self.path_links(src, dst)
+        return float(self.link_lengths[links].sum()) if links else 0.0
+
+    def path_tiles(self, src: int, dst: int) -> list[int]:
+        """The ordered tiles (routers) visited by the route, endpoints included."""
+        return self._path(src, dst)[0]
+
+    def path_links(self, src: int, dst: int) -> list[int]:
+        """The ordered link indices traversed by the route."""
+        return self._path(src, dst)[1]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _path(self, src: int, dst: int) -> tuple[list[int], list[int]]:
+        key = (src, dst)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        if src == dst:
+            result = ([src], [])
+            self._path_cache[key] = result
+            return result
+        if not self.is_reachable(src, dst):
+            raise ValueError(f"no route from tile {src} to tile {dst}: network is disconnected")
+        tiles = [dst]
+        node = dst
+        while node != src:
+            node = int(self._predecessors[src, node])
+            if node < 0:
+                raise ValueError(f"no route from tile {src} to tile {dst}")
+            tiles.append(node)
+        tiles.reverse()
+        links = [self.link_index[(a, b)] for a, b in zip(tiles[:-1], tiles[1:])]
+        result = (tiles, links)
+        self._path_cache[key] = result
+        return result

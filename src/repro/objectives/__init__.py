@@ -1,0 +1,26 @@
+"""Cost models for the five design objectives of Section III."""
+
+from repro.objectives.evaluator import (
+    OBJECTIVE_NAMES,
+    ObjectiveEvaluator,
+    ObjectiveScenario,
+    scenario_for,
+)
+from repro.objectives.energy import communication_energy
+from repro.objectives.latency import cpu_llc_latency
+from repro.objectives.thermal import ThermalModel, thermal_objective
+from repro.objectives.traffic import link_utilizations, traffic_mean, traffic_variance
+
+__all__ = [
+    "OBJECTIVE_NAMES",
+    "ObjectiveEvaluator",
+    "ObjectiveScenario",
+    "ThermalModel",
+    "communication_energy",
+    "cpu_llc_latency",
+    "link_utilizations",
+    "scenario_for",
+    "thermal_objective",
+    "traffic_mean",
+    "traffic_variance",
+]

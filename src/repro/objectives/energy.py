@@ -1,0 +1,48 @@
+"""NoC communication energy objective (Eq. 4).
+
+Energy is the traffic-weighted sum of link traversal energy (proportional to
+the physical link length ``d_k`` times the per-flit link energy ``E_link``)
+and router traversal energy (per-port energy ``E_r`` times the port count
+``P_k`` of every router on the route).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.design import NocDesign
+from repro.noc.platform import PlatformConfig
+from repro.noc.routing import RoutingTables
+from repro.workloads.workload import Workload
+
+
+def communication_energy(
+    design: NocDesign,
+    workload: Workload,
+    routing: RoutingTables | None = None,
+) -> float:
+    """Total NoC communication energy (Eq. 4), in picojoules per kilo-cycle."""
+    config: PlatformConfig = workload.config
+    if routing is None:
+        routing = RoutingTables(design, config.grid)
+    tile_of_pe = design.tile_of_pe()
+    # Port count of every router: attached links plus the local PE injection port.
+    ports = design.degrees().astype(np.float64) + 1.0
+    link_lengths = design.link_lengths(config.grid)
+    e_link = config.link_energy_per_flit
+    e_router = config.router_energy_per_port
+
+    total = 0.0
+    for src_pe, dst_pe, frequency in workload.communicating_pairs():
+        src_tile = int(tile_of_pe[src_pe])
+        dst_tile = int(tile_of_pe[dst_pe])
+        if src_tile == dst_tile:
+            # Same-tile communication traverses only the local router.
+            total += frequency * e_router * ports[src_tile]
+            continue
+        path_links = routing.path_links(src_tile, dst_tile)
+        path_tiles = routing.path_tiles(src_tile, dst_tile)
+        link_energy = e_link * float(link_lengths[path_links].sum())
+        router_energy = e_router * float(ports[path_tiles].sum())
+        total += frequency * (link_energy + router_energy)
+    return total

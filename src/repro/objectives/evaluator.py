@@ -1,0 +1,164 @@
+"""Composite objective evaluator with 3/4/5-objective scenarios.
+
+The paper evaluates three scenarios (Section V.D): ``3-obj`` uses objectives
+1-3 (traffic mean, traffic variance, CPU-LLC latency), ``4-obj`` adds energy,
+and ``5-obj`` adds the thermal objective.  All objectives are minimised.
+
+Routing tables are computed once per design and shared by all objectives; the
+evaluator memoises complete objective vectors per design (LRU-bounded) and
+counts evaluations so experiments can report search effort.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.design import NocDesign
+from repro.noc.routing import RoutingTables
+from repro.objectives.energy import communication_energy
+from repro.objectives.latency import cpu_llc_latency
+from repro.objectives.thermal import ThermalModel
+from repro.objectives.traffic import link_utilizations, traffic_mean, traffic_variance
+from repro.workloads.workload import Workload
+
+#: Canonical objective order used by every scenario.
+OBJECTIVE_NAMES: tuple[str, ...] = (
+    "traffic_mean",
+    "traffic_variance",
+    "cpu_llc_latency",
+    "energy",
+    "thermal",
+)
+
+
+@dataclass(frozen=True)
+class ObjectiveScenario:
+    """A subset of the five objectives, in canonical order."""
+
+    name: str
+    objectives: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        unknown = [o for o in self.objectives if o not in OBJECTIVE_NAMES]
+        if unknown:
+            raise ValueError(f"unknown objectives {unknown}; valid: {OBJECTIVE_NAMES}")
+        if len(self.objectives) != len(set(self.objectives)):
+            raise ValueError("objectives must be unique")
+        if len(self.objectives) < 2:
+            raise ValueError("a multi-objective scenario needs at least two objectives")
+
+    @property
+    def num_objectives(self) -> int:
+        """Number of objectives in the scenario."""
+        return len(self.objectives)
+
+
+#: The three scenarios evaluated in the paper.
+SCENARIO_3OBJ = ObjectiveScenario("3-obj", OBJECTIVE_NAMES[:3])
+SCENARIO_4OBJ = ObjectiveScenario("4-obj", OBJECTIVE_NAMES[:4])
+SCENARIO_5OBJ = ObjectiveScenario("5-obj", OBJECTIVE_NAMES[:5])
+
+_SCENARIOS = {3: SCENARIO_3OBJ, 4: SCENARIO_4OBJ, 5: SCENARIO_5OBJ}
+
+
+def scenario_for(num_objectives: int) -> ObjectiveScenario:
+    """Return the paper scenario with ``num_objectives`` objectives (3, 4 or 5)."""
+    if num_objectives not in _SCENARIOS:
+        raise ValueError(f"the paper defines 3/4/5-objective scenarios, got {num_objectives}")
+    return _SCENARIOS[num_objectives]
+
+
+class ObjectiveEvaluator:
+    """Evaluates designs against a scenario's objectives with caching.
+
+    Parameters
+    ----------
+    workload:
+        The application workload (traffic + power) defining the landscape.
+    scenario:
+        Which objectives to report (defaults to the 5-objective scenario).
+    cache_size:
+        Maximum number of memoised designs (0 disables caching).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        scenario: ObjectiveScenario = SCENARIO_5OBJ,
+        cache_size: int = 50_000,
+    ):
+        self.workload = workload
+        self.config = workload.config
+        self.scenario = scenario
+        self.thermal_model = ThermalModel(self.config)
+        self.cache_size = int(cache_size)
+        self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self.evaluations = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    @property
+    def num_objectives(self) -> int:
+        """Number of objectives reported per design."""
+        return self.scenario.num_objectives
+
+    @property
+    def objective_names(self) -> tuple[str, ...]:
+        """Names of the reported objectives, in order."""
+        return self.scenario.objectives
+
+    def evaluate(self, design: NocDesign) -> np.ndarray:
+        """Return the objective vector of a design (all objectives minimised)."""
+        key = design.key()
+        if self.cache_size > 0 and key in self._cache:
+            self.cache_hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key].copy()
+        values = self._compute(design)
+        self.evaluations += 1
+        if self.cache_size > 0:
+            self._cache[key] = values
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return values.copy()
+
+    def evaluate_many(self, designs: list[NocDesign]) -> np.ndarray:
+        """Evaluate several designs, returning a ``len(designs) x M`` matrix."""
+        return np.array([self.evaluate(d) for d in designs], dtype=np.float64)
+
+    def full_report(self, design: NocDesign) -> dict[str, float]:
+        """All five objective values for a design, regardless of scenario."""
+        routing = RoutingTables(design, self.config.grid)
+        utilization = link_utilizations(design, self.workload, routing)
+        return {
+            "traffic_mean": traffic_mean(utilization),
+            "traffic_variance": traffic_variance(utilization),
+            "cpu_llc_latency": cpu_llc_latency(design, self.workload, routing),
+            "energy": communication_energy(design, self.workload, routing),
+            "thermal": self.thermal_model.objective(design, self.workload),
+            "peak_temperature": self.thermal_model.peak_temperature(design, self.workload),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _compute(self, design: NocDesign) -> np.ndarray:
+        routing = RoutingTables(design, self.config.grid)
+        needed = set(self.scenario.objectives)
+        values: dict[str, float] = {}
+        if needed & {"traffic_mean", "traffic_variance"}:
+            utilization = link_utilizations(design, self.workload, routing)
+            values["traffic_mean"] = traffic_mean(utilization)
+            values["traffic_variance"] = traffic_variance(utilization)
+        if "cpu_llc_latency" in needed:
+            values["cpu_llc_latency"] = cpu_llc_latency(design, self.workload, routing)
+        if "energy" in needed:
+            values["energy"] = communication_energy(design, self.workload, routing)
+        if "thermal" in needed:
+            values["thermal"] = self.thermal_model.objective(design, self.workload)
+        return np.array([values[name] for name in self.scenario.objectives], dtype=np.float64)

@@ -1,0 +1,44 @@
+"""CPU-LLC latency objective (Eq. 3).
+
+CPUs are latency sensitive; the objective models the average CPU-to-LLC
+access latency as ``(r * h_ij + d_ij) * f_ij`` summed over every CPU/LLC pair
+and normalised by the number of pairs, where ``r`` is the router pipeline
+depth, ``h_ij`` the hop count and ``d_ij`` the total physical link delay of
+the route.
+"""
+
+from __future__ import annotations
+
+from repro.noc.design import NocDesign
+from repro.noc.platform import PlatformConfig
+from repro.noc.routing import RoutingTables
+from repro.workloads.workload import Workload
+
+
+def cpu_llc_latency(
+    design: NocDesign,
+    workload: Workload,
+    routing: RoutingTables | None = None,
+) -> float:
+    """Average traffic-weighted CPU-LLC latency (Eq. 3)."""
+    config: PlatformConfig = workload.config
+    if routing is None:
+        routing = RoutingTables(design, config.grid)
+    cpu_ids = config.cpu_ids
+    llc_ids = config.llc_ids
+    if len(cpu_ids) == 0 or len(llc_ids) == 0:
+        return 0.0
+    tile_of_pe = design.tile_of_pe()
+    stages = config.router_stages
+    total = 0.0
+    for cpu in cpu_ids:
+        cpu_tile = int(tile_of_pe[cpu])
+        for llc in llc_ids:
+            llc_tile = int(tile_of_pe[llc])
+            frequency = float(workload.traffic[cpu, llc] + workload.traffic[llc, cpu])
+            if frequency == 0.0:
+                continue
+            hops = routing.hops(cpu_tile, llc_tile)
+            link_delay = routing.path_length(cpu_tile, llc_tile)
+            total += (stages * hops + link_delay) * frequency
+    return total / (len(cpu_ids) * len(llc_ids))

@@ -1,0 +1,104 @@
+"""Thermal objective (Eqs. 5-7), using the fast resistive-stack model of Cong et al.
+
+The platform is viewed as ``N x N`` single-tile stacks (columns) of ``Y``
+layers.  The steady-state temperature rise of the tile ``k`` layers away from
+the heat sink in column ``n`` is
+
+``T_{n,k} = sum_{i=1..k} ( P_{n,i} * sum_{j=1..i} R_j ) + R_b * sum_{i=1..k} P_{n,i}``
+
+where ``P_{n,i}`` is the average power of the PE ``i`` layers from the sink,
+``R_j`` the vertical thermal resistance of layer ``j`` and ``R_b`` the base
+(heat-spreader) resistance.  Horizontal heat flow is approximated by the
+maximum same-layer temperature difference ``dT(k)``, and the scalar objective
+combines vertical and horizontal effects as ``T = max_{n,k} T_{n,k} * max_k dT(k)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.design import NocDesign
+from repro.noc.platform import PlatformConfig
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Resistive-stack thermal model of the 3D platform.
+
+    The per-layer vertical resistances default to the platform's uniform
+    ``vertical_resistance``; a custom per-layer profile can be supplied to
+    model, e.g., thinned upper dies.
+    """
+
+    config: PlatformConfig
+    layer_resistances: tuple[float, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.layer_resistances is not None:
+            if len(self.layer_resistances) != self.config.layers:
+                raise ValueError(
+                    f"layer_resistances must have {self.config.layers} entries, "
+                    f"got {len(self.layer_resistances)}"
+                )
+            if any(r <= 0 for r in self.layer_resistances):
+                raise ValueError("layer resistances must be positive")
+
+    @property
+    def resistances(self) -> np.ndarray:
+        """Vertical resistance ``R_j`` of every layer (index 0 = closest to sink)."""
+        if self.layer_resistances is not None:
+            return np.asarray(self.layer_resistances, dtype=np.float64)
+        return np.full(self.config.layers, self.config.vertical_resistance, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Temperature fields
+    # ------------------------------------------------------------------ #
+    def column_powers(self, design: NocDesign, workload: Workload) -> np.ndarray:
+        """Per-column per-layer power matrix ``P[n, k]`` (column x layer-from-sink)."""
+        config = self.config
+        grid = config.grid
+        tile_power = workload.tile_power(design.placement_array())
+        powers = np.zeros((grid.num_columns, config.layers), dtype=np.float64)
+        for tile_id in range(config.num_tiles):
+            column = grid.column_id(tile_id)
+            layer = grid.layer_of(tile_id)
+            powers[column, layer] = tile_power[tile_id]
+        return powers
+
+    def temperatures(self, design: NocDesign, workload: Workload) -> np.ndarray:
+        """Temperature rise ``T[n, k]`` of every tile (column x layer-from-sink), Eq. 5."""
+        powers = self.column_powers(design, workload)
+        resistances = self.resistances
+        cumulative_resistance = np.cumsum(resistances)
+        num_columns, layers = powers.shape
+        temperatures = np.zeros_like(powers)
+        for k in range(layers):
+            # Eq. 5: heat generated at or below layer k flows through the
+            # resistances between its source layer and the sink.
+            contributions = powers[:, : k + 1] * cumulative_resistance[: k + 1]
+            base = self.config.base_resistance * powers[:, : k + 1].sum(axis=1)
+            temperatures[:, k] = contributions.sum(axis=1) + base
+        return temperatures
+
+    def layer_spread(self, temperatures: np.ndarray) -> np.ndarray:
+        """Same-layer temperature spread ``dT(k)`` for every layer, Eq. 6."""
+        return temperatures.max(axis=0) - temperatures.min(axis=0)
+
+    def peak_temperature(self, design: NocDesign, workload: Workload) -> float:
+        """Peak tile temperature rise ``max_{n,k} T_{n,k}`` (kelvin above ambient)."""
+        return float(self.temperatures(design, workload).max())
+
+    def objective(self, design: NocDesign, workload: Workload) -> float:
+        """Combined thermal objective ``T`` (Eq. 7)."""
+        temperatures = self.temperatures(design, workload)
+        peak = float(temperatures.max())
+        spread = float(self.layer_spread(temperatures).max())
+        return peak * spread
+
+
+def thermal_objective(design: NocDesign, workload: Workload) -> float:
+    """Convenience wrapper computing Eq. 7 with the platform's default constants."""
+    return ThermalModel(workload.config).objective(design, workload)

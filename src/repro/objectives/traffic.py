@@ -1,0 +1,58 @@
+"""Traffic objectives: mean and variance of link utilisation (Eqs. 1-2).
+
+The utilisation of link ``k`` is ``u_k = sum_ij f_ij * p_ijk`` where ``p_ijk``
+indicates whether the route from PE ``i`` to PE ``j`` traverses link ``k``.
+Objective 1 minimises the mean of ``u`` over all links; objective 2 minimises
+its variance (reducing hotspots improves GPU throughput).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.design import NocDesign
+from repro.noc.routing import RoutingTables
+from repro.workloads.workload import Workload
+
+
+def link_utilizations(
+    design: NocDesign, workload: Workload, routing: RoutingTables | None = None
+) -> np.ndarray:
+    """Per-link utilisation ``u_k`` for a design under a workload.
+
+    Parameters
+    ----------
+    design:
+        The design whose links are being loaded.
+    workload:
+        Provides the communication frequencies ``f_ij`` between logical PEs.
+    routing:
+        Optional pre-computed routing tables (avoids recomputation when several
+        objectives share them).
+    """
+    if routing is None:
+        routing = RoutingTables(design, workload.config.grid)
+    tile_of_pe = design.tile_of_pe()
+    utilization = np.zeros(design.num_links, dtype=np.float64)
+    for src_pe, dst_pe, frequency in workload.communicating_pairs():
+        src_tile = int(tile_of_pe[src_pe])
+        dst_tile = int(tile_of_pe[dst_pe])
+        if src_tile == dst_tile:
+            continue
+        for link_idx in routing.path_links(src_tile, dst_tile):
+            utilization[link_idx] += frequency
+    return utilization
+
+
+def traffic_mean(utilization: np.ndarray) -> float:
+    """Mean link utilisation (Eq. 1)."""
+    if utilization.size == 0:
+        return 0.0
+    return float(utilization.mean())
+
+
+def traffic_variance(utilization: np.ndarray) -> float:
+    """Population variance of link utilisation (Eq. 2)."""
+    if utilization.size == 0:
+        return 0.0
+    return float(utilization.var())

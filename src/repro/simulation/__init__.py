@@ -1,0 +1,6 @@
+"""Queueing-theoretic NoC performance/energy simulator (gem5-GPU substitute for EDP)."""
+
+from repro.simulation.simulator import NocSimulator, SimulationResult
+from repro.simulation.queueing import mm1_waiting_time
+
+__all__ = ["NocSimulator", "SimulationResult", "mm1_waiting_time"]

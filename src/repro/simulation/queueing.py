@@ -1,0 +1,46 @@
+"""Queueing primitives used by the performance simulator.
+
+Links are modelled as M/M/1 servers: a link with utilisation ``rho`` adds an
+expected waiting time of ``rho / (1 - rho)`` service units to every flit that
+traverses it.  Utilisations are clamped below 1 so that saturated links
+produce a large-but-finite penalty instead of an infinite delay, which keeps
+the optimisation landscape smooth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Maximum utilisation used when clamping saturated links.
+MAX_UTILIZATION = 0.98
+
+
+def mm1_waiting_time(utilization: np.ndarray | float, max_utilization: float = MAX_UTILIZATION) -> np.ndarray | float:
+    """Expected M/M/1 queueing delay (in service times) for given utilisation.
+
+    Parameters
+    ----------
+    utilization:
+        Offered load of the server(s), ``lambda / mu``; values above
+        ``max_utilization`` are clamped.
+    max_utilization:
+        Clamp threshold in (0, 1).
+    """
+    if not (0.0 < max_utilization < 1.0):
+        raise ValueError("max_utilization must lie strictly between 0 and 1")
+    rho = np.clip(np.asarray(utilization, dtype=np.float64), 0.0, max_utilization)
+    wait = rho / (1.0 - rho)
+    if np.isscalar(utilization):
+        return float(wait)
+    return wait
+
+
+def normalize_injection(utilization: np.ndarray, capacity: float) -> np.ndarray:
+    """Convert raw link loads (flits per kilo-cycle) into utilisations in [0, 1].
+
+    ``capacity`` is the link bandwidth in flits per kilo-cycle (one flit per
+    cycle equals 1000 flits per kilo-cycle).
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be > 0")
+    return np.asarray(utilization, dtype=np.float64) / capacity

@@ -1,0 +1,16 @@
+"""Small shared utilities (RNG handling, validation helpers)."""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.validation import (
+    require,
+    require_positive,
+    require_probability,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "require",
+    "require_positive",
+    "require_probability",
+]

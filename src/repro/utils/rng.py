@@ -1,0 +1,42 @@
+"""Random-number-generator helpers.
+
+Every stochastic component in the library accepts either ``None``, an integer
+seed, or an existing :class:`numpy.random.Generator`.  These helpers normalise
+that input so that experiments are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted RNG input.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` (fresh non-deterministic generator), an integer seed, or an
+        existing generator (returned unchanged).
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(f"rng must be None, an int seed, or a numpy Generator, got {type(rng)!r}")
+
+
+def spawn_rng(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators from ``rng``.
+
+    Children are seeded from the parent so that runs remain reproducible while
+    avoiding correlated streams between components.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]

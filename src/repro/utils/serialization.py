@@ -1,0 +1,102 @@
+"""JSON serialisation of designs and result summaries.
+
+Designs need to leave the Python process in two situations: when a selected
+design is handed to a downstream flow (floorplanning, RTL generation, a full
+simulator), and when long search campaigns checkpoint their populations.  The
+format is plain JSON with explicit fields so other tools can consume it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.moo.result import OptimizationResult
+from repro.noc.design import NocDesign
+from repro.noc.platform import PlatformConfig
+
+
+def design_to_dict(design: NocDesign) -> dict[str, Any]:
+    """Convert a design to a JSON-serialisable dictionary."""
+    return {
+        "placement": list(design.placement),
+        "links": [[link.a, link.b] for link in design.links],
+    }
+
+
+def design_from_dict(payload: dict[str, Any]) -> NocDesign:
+    """Rebuild a design from :func:`design_to_dict` output."""
+    if "placement" not in payload or "links" not in payload:
+        raise ValueError("design payload must contain 'placement' and 'links'")
+    return NocDesign.from_arrays(payload["placement"], [tuple(pair) for pair in payload["links"]])
+
+
+def save_design(design: NocDesign, path: "str | Path") -> Path:
+    """Write a design to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(design_to_dict(design), indent=2))
+    return path
+
+
+def load_design(path: "str | Path") -> NocDesign:
+    """Read a design from a JSON file written by :func:`save_design`."""
+    return design_from_dict(json.loads(Path(path).read_text()))
+
+
+def platform_to_dict(config: PlatformConfig) -> dict[str, Any]:
+    """Convert a platform configuration to a JSON-serialisable dictionary."""
+    return {
+        "name": config.name,
+        "n": config.n,
+        "layers": config.layers,
+        "num_cpus": config.num_cpus,
+        "num_gpus": config.num_gpus,
+        "num_llcs": config.num_llcs,
+        "num_planar_links": config.num_planar_links,
+        "num_vertical_links": config.num_vertical_links,
+        "max_planar_length": config.max_planar_length,
+        "max_router_degree": config.max_router_degree,
+        "router_stages": config.router_stages,
+    }
+
+
+def result_to_dict(result: OptimizationResult, reference: np.ndarray | None = None) -> dict[str, Any]:
+    """Summarise an optimisation result (objectives, history, metrics) as JSON data.
+
+    Designs themselves are included via :func:`design_to_dict` when they are
+    :class:`NocDesign` instances; other design types are skipped.
+    """
+    payload: dict[str, Any] = {
+        "algorithm": result.algorithm,
+        "problem": result.problem_name,
+        "evaluations": int(result.evaluations),
+        "elapsed_seconds": float(result.elapsed_seconds),
+        "objectives": result.objectives.tolist(),
+        "final_front": result.final_front().tolist(),
+        "history": [
+            {
+                "iteration": snap.iteration,
+                "evaluations": snap.evaluations,
+                "elapsed_seconds": snap.elapsed_seconds,
+                "front": snap.front.tolist(),
+            }
+            for snap in result.history
+        ],
+    }
+    if reference is not None:
+        payload["reference_point"] = np.asarray(reference, dtype=float).tolist()
+        payload["hypervolume"] = float(result.final_hypervolume(reference))
+    designs = [d for d in result.designs if isinstance(d, NocDesign)]
+    if designs:
+        payload["designs"] = [design_to_dict(d) for d in designs]
+    return payload
+
+
+def save_result(result: OptimizationResult, path: "str | Path", reference: np.ndarray | None = None) -> Path:
+    """Write a result summary to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(result_to_dict(result, reference), indent=2))
+    return path

@@ -1,0 +1,66 @@
+"""Per-PE power models (McPAT / GPUWattch substitute).
+
+The thermal objective (Section III, Eq. 5-7) consumes the average power of
+the PE hosted by every tile.  The paper obtains those averages from McPAT
+(CPUs/LLCs) and GPUWattch (GPUs); here they are modelled as a per-type
+baseline scaled by an application activity factor plus a small per-PE
+variation, with magnitudes calibrated to published per-core figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.noc.platform import PEType, PlatformConfig
+from repro.utils.rng import ensure_rng
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Average-power model parameters for the three PE types (watts)."""
+
+    cpu_base_watts: float = 4.0
+    gpu_base_watts: float = 1.8
+    llc_base_watts: float = 0.8
+    variation_sigma: float = 0.1
+
+    def baseline(self, pe_type: PEType) -> float:
+        """Idle-activity baseline power of a PE type."""
+        if pe_type is PEType.CPU:
+            return self.cpu_base_watts
+        if pe_type is PEType.GPU:
+            return self.gpu_base_watts
+        return self.llc_base_watts
+
+    def generate(
+        self,
+        config: PlatformConfig,
+        cpu_activity: float = 1.0,
+        gpu_activity: float = 1.0,
+        llc_activity: float = 1.0,
+        rng=None,
+    ) -> np.ndarray:
+        """Generate a per-PE average power vector.
+
+        ``*_activity`` scale the type baselines; per-PE lognormal variation
+        models workload imbalance between cores.
+        """
+        rng = ensure_rng(rng)
+        if min(cpu_activity, gpu_activity, llc_activity) < 0:
+            raise ValueError("activity factors must be non-negative")
+        activity = {
+            PEType.CPU: cpu_activity,
+            PEType.GPU: gpu_activity,
+            PEType.LLC: llc_activity,
+        }
+        power = np.empty(config.num_tiles, dtype=np.float64)
+        for pe_id in range(config.num_tiles):
+            pe_type = config.pe_type(pe_id)
+            variation = rng.lognormal(mean=0.0, sigma=self.variation_sigma)
+            power[pe_id] = self.baseline(pe_type) * activity[pe_type] * variation
+        return power
+
+
+DEFAULT_POWER_MODEL = PowerModel()

@@ -1,0 +1,68 @@
+"""Workload registry: named, cached access to application workloads."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.noc.platform import PlatformConfig
+from repro.workloads.rodinia import RODINIA_APPLICATIONS, generate_rodinia_workload
+from repro.workloads.workload import Workload
+
+WorkloadFactory = Callable[[PlatformConfig, int], Workload]
+
+
+class WorkloadRegistry:
+    """Registry of workload generators keyed by application name.
+
+    The registry starts pre-populated with the seven Rodinia applications of
+    the paper; users can register additional applications (e.g. custom traces)
+    with :meth:`register`.
+    Generated workloads are cached per ``(application, platform, seed)``.
+    """
+
+    def __init__(self) -> None:
+        self._factories: dict[str, WorkloadFactory] = {}
+        self._cache: dict[tuple[str, str, int, int, int], Workload] = {}
+        for app in RODINIA_APPLICATIONS:
+            self._factories[app] = self._make_rodinia_factory(app)
+
+    @staticmethod
+    def _make_rodinia_factory(app: str) -> WorkloadFactory:
+        def factory(config: PlatformConfig, seed: int) -> Workload:
+            return generate_rodinia_workload(app, config, seed=seed)
+
+        return factory
+
+    def register(self, name: str, factory: WorkloadFactory, overwrite: bool = False) -> None:
+        """Register a new application workload factory."""
+        key = name.upper()
+        if key in self._factories and not overwrite:
+            raise ValueError(f"application {name!r} is already registered")
+        self._factories[key] = factory
+
+    def applications(self) -> list[str]:
+        """Names of all registered applications."""
+        return sorted(self._factories)
+
+    def get(self, name: str, config: PlatformConfig, seed: int = 0) -> Workload:
+        """Return (and cache) the workload for one application on one platform."""
+        key = name.upper()
+        if key not in self._factories:
+            raise KeyError(f"unknown application {name!r}; available: {self.applications()}")
+        cache_key = (key, config.name, config.n, config.layers, int(seed))
+        if cache_key not in self._cache:
+            self._cache[cache_key] = self._factories[key](config, int(seed))
+        return self._cache[cache_key]
+
+
+_DEFAULT_REGISTRY = WorkloadRegistry()
+
+
+def get_workload(name: str, config: PlatformConfig, seed: int = 0) -> Workload:
+    """Fetch an application workload from the default registry."""
+    return _DEFAULT_REGISTRY.get(name, config, seed=seed)
+
+
+def list_applications() -> list[str]:
+    """Applications available in the default registry."""
+    return _DEFAULT_REGISTRY.applications()

@@ -1,0 +1,122 @@
+"""Traffic-pattern primitives used to assemble application workloads.
+
+Each primitive returns an ``A x A`` non-negative matrix of communication
+frequencies between logical PEs.  The Rodinia-like generators in
+:mod:`repro.workloads.rodinia` compose these primitives with per-application
+mixture weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.noc.platform import PlatformConfig
+from repro.utils.rng import ensure_rng
+
+
+def empty_traffic(config: PlatformConfig) -> np.ndarray:
+    """A zero traffic matrix of the right shape."""
+    return np.zeros((config.num_tiles, config.num_tiles), dtype=np.float64)
+
+
+def _zero_diagonal(matrix: np.ndarray) -> np.ndarray:
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def cpu_llc_requests(config: PlatformConfig, intensity: float, rng=None) -> np.ndarray:
+    """Latency-sensitive CPU<->LLC request/response traffic.
+
+    Every CPU talks to every LLC with a lognormally distributed rate around
+    ``intensity``; responses (LLC->CPU) carry roughly twice the request volume
+    (cache lines vs. addresses).
+    """
+    rng = ensure_rng(rng)
+    traffic = empty_traffic(config)
+    for cpu in config.cpu_ids:
+        weights = rng.lognormal(mean=0.0, sigma=0.6, size=len(config.llc_ids))
+        weights = weights / weights.sum()
+        for llc, weight in zip(config.llc_ids, weights):
+            rate = intensity * weight
+            traffic[cpu, llc] += rate
+            traffic[llc, cpu] += 2.0 * rate
+    return _zero_diagonal(traffic)
+
+
+def gpu_llc_streaming(config: PlatformConfig, intensity: float, rng=None, skew: float = 0.4) -> np.ndarray:
+    """Throughput-oriented GPU<->LLC streaming traffic.
+
+    Each GPU streams from a skewed subset of LLCs (``skew`` controls how
+    concentrated the LLC popularity distribution is); read responses dominate.
+    """
+    rng = ensure_rng(rng)
+    traffic = empty_traffic(config)
+    num_llcs = len(config.llc_ids)
+    popularity = rng.dirichlet(np.full(num_llcs, max(1e-3, 1.0 - skew) * 4.0))
+    for gpu in config.gpu_ids:
+        jitter = rng.lognormal(mean=0.0, sigma=0.3, size=num_llcs)
+        weights = popularity * jitter
+        weights = weights / weights.sum()
+        for llc, weight in zip(config.llc_ids, weights):
+            rate = intensity * weight
+            traffic[gpu, llc] += 0.5 * rate
+            traffic[llc, gpu] += 2.5 * rate
+    return _zero_diagonal(traffic)
+
+
+def gpu_neighbor_sharing(config: PlatformConfig, intensity: float, rng=None, fanout: int = 4) -> np.ndarray:
+    """Stencil-style GPU<->GPU sharing: each GPU exchanges data with ``fanout`` peers."""
+    rng = ensure_rng(rng)
+    traffic = empty_traffic(config)
+    gpu_ids = config.gpu_ids
+    if len(gpu_ids) < 2:
+        return traffic
+    fanout = min(fanout, len(gpu_ids) - 1)
+    for idx, gpu in enumerate(gpu_ids):
+        # Neighbouring logical GPU ids model cooperative thread-block groups.
+        offsets = rng.choice(np.arange(1, len(gpu_ids)), size=fanout, replace=False)
+        for offset in offsets:
+            peer = gpu_ids[(idx + int(offset)) % len(gpu_ids)]
+            rate = intensity * rng.lognormal(mean=0.0, sigma=0.4) / fanout
+            traffic[gpu, peer] += rate
+    return _zero_diagonal(traffic)
+
+
+def hotspot(config: PlatformConfig, intensity: float, rng=None, num_hot: int = 2) -> np.ndarray:
+    """Hotspot traffic: every PE sends a share of traffic to a few hot LLCs."""
+    rng = ensure_rng(rng)
+    traffic = empty_traffic(config)
+    num_hot = min(num_hot, len(config.llc_ids))
+    hot_llcs = rng.choice(config.llc_ids, size=num_hot, replace=False)
+    senders = np.concatenate([config.cpu_ids, config.gpu_ids])
+    for sender in senders:
+        share = rng.dirichlet(np.ones(num_hot))
+        for llc, weight in zip(hot_llcs, share):
+            rate = intensity * weight / len(senders) * len(config.llc_ids)
+            traffic[sender, llc] += rate
+            traffic[llc, sender] += rate
+    return _zero_diagonal(traffic)
+
+
+def cpu_gpu_coordination(config: PlatformConfig, intensity: float, rng=None) -> np.ndarray:
+    """Kernel-launch / synchronisation traffic between CPUs and GPUs."""
+    rng = ensure_rng(rng)
+    traffic = empty_traffic(config)
+    if len(config.cpu_ids) == 0 or len(config.gpu_ids) == 0:
+        return traffic
+    for gpu in config.gpu_ids:
+        owner = config.cpu_ids[int(rng.integers(len(config.cpu_ids)))]
+        rate = intensity * rng.lognormal(mean=0.0, sigma=0.3) / len(config.gpu_ids)
+        traffic[owner, gpu] += rate
+        traffic[gpu, owner] += 0.5 * rate
+    return _zero_diagonal(traffic)
+
+
+def uniform_random(config: PlatformConfig, intensity: float, rng=None, density: float = 0.2) -> np.ndarray:
+    """Sparse uniform-random background traffic between all PEs."""
+    rng = ensure_rng(rng)
+    num = config.num_tiles
+    mask = rng.random((num, num)) < density
+    rates = rng.exponential(scale=intensity / max(1, num), size=(num, num))
+    traffic = np.where(mask, rates, 0.0)
+    return _zero_diagonal(traffic)

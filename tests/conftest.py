@@ -1,0 +1,73 @@
+"""Shared fixtures: tiny platforms, workloads and problems reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import NocDesignProblem
+from repro.noc.constraints import random_design
+from repro.noc.platform import PlatformConfig
+from repro.workloads.registry import get_workload
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> PlatformConfig:
+    """8-tile platform used for fast unit tests."""
+    return PlatformConfig.tiny_2x2x2()
+
+
+@pytest.fixture(scope="session")
+def small_config() -> PlatformConfig:
+    """27-tile platform matching Fig. 1 of the paper."""
+    return PlatformConfig.small_3x3x3()
+
+
+@pytest.fixture(scope="session")
+def paper_config() -> PlatformConfig:
+    """The 64-tile platform of the paper's evaluation."""
+    return PlatformConfig.paper_4x4x4()
+
+
+@pytest.fixture(scope="session")
+def tiny_workload(tiny_config):
+    """BFS-like workload on the tiny platform."""
+    return get_workload("BFS", tiny_config, seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_workload(small_config):
+    """BFS-like workload on the 27-tile platform."""
+    return get_workload("BFS", small_config, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem(tiny_workload) -> NocDesignProblem:
+    """3-objective design problem on the tiny platform."""
+    return NocDesignProblem(tiny_workload, scenario=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_problem_5obj(tiny_workload) -> NocDesignProblem:
+    """5-objective design problem on the tiny platform."""
+    return NocDesignProblem(tiny_workload, scenario=5)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Deterministic RNG for individual tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_designs(tiny_config):
+    """A handful of feasible random designs on the tiny platform."""
+    generator = np.random.default_rng(7)
+    return [random_design(tiny_config, generator) for _ in range(6)]
+
+
+@pytest.fixture(scope="session")
+def small_designs(small_config):
+    """A handful of feasible random designs on the 27-tile platform."""
+    generator = np.random.default_rng(7)
+    return [random_design(small_config, generator) for _ in range(4)]

@@ -1,0 +1,64 @@
+"""Tests for the MOELA configuration (Section V.B parameters)."""
+
+import pytest
+
+from repro.core.config import MOELAConfig
+
+
+class TestPaperParameters:
+    def test_paper_defaults_match_section_vb(self):
+        config = MOELAConfig.paper()
+        assert config.population_size == 50
+        assert config.generations == 1000
+        assert config.iter_early == 2
+        assert config.delta == pytest.approx(0.9)
+        assert config.max_training_samples == 10_000
+
+    def test_default_config_is_paper_like(self):
+        config = MOELAConfig()
+        assert config.population_size == 50
+        assert config.delta == pytest.approx(0.9)
+
+    def test_reduced_and_smoke_are_valid_and_smaller(self):
+        reduced = MOELAConfig.reduced()
+        smoke = MOELAConfig.smoke()
+        assert reduced.population_size < MOELAConfig.paper().population_size
+        assert smoke.population_size <= reduced.population_size
+        assert smoke.generations <= reduced.generations
+
+
+class TestValidation:
+    def test_population_too_small(self):
+        with pytest.raises(ValueError):
+            MOELAConfig(population_size=2)
+
+    def test_n_local_cannot_exceed_population(self):
+        with pytest.raises(ValueError):
+            MOELAConfig(population_size=10, n_local=11)
+
+    def test_delta_must_be_probability(self):
+        with pytest.raises(ValueError):
+            MOELAConfig(delta=1.2)
+
+    def test_mutation_probability_must_be_probability(self):
+        with pytest.raises(ValueError):
+            MOELAConfig(mutation_probability=-0.1)
+
+    def test_negative_iter_early_rejected(self):
+        with pytest.raises(ValueError):
+            MOELAConfig(iter_early=-1)
+
+    def test_positive_quantities_required(self):
+        with pytest.raises(ValueError):
+            MOELAConfig(generations=0)
+        with pytest.raises(ValueError):
+            MOELAConfig(local_search_steps=0)
+        with pytest.raises(ValueError):
+            MOELAConfig(forest_size=0)
+        with pytest.raises(ValueError):
+            MOELAConfig(max_training_samples=0)
+
+    def test_config_is_frozen(self):
+        config = MOELAConfig()
+        with pytest.raises(Exception):
+            config.population_size = 10

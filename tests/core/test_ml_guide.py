@@ -1,0 +1,89 @@
+"""Tests for the Eval model and the MLguide starting-point selection (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ml_guide import EvalModel, MLGuide, TrainingSample
+
+
+def _make_samples(count: int, rng: np.random.Generator) -> list[TrainingSample]:
+    samples = []
+    for _ in range(count):
+        features = rng.uniform(size=4)
+        weight = rng.dirichlet(np.ones(3))
+        # The outcome depends linearly on the first feature so the model can learn it.
+        outcome = 5.0 * features[0] + 0.5 * weight[0]
+        samples.append(TrainingSample(features=features, weight=weight, outcome=outcome))
+    return samples
+
+
+class TestTrainingSample:
+    def test_row_concatenates_features_and_weight(self):
+        sample = TrainingSample(np.array([1.0, 2.0]), np.array([0.3, 0.7]), outcome=4.2)
+        assert np.allclose(sample.row(), [1.0, 2.0, 0.3, 0.7])
+
+
+class TestEvalModel:
+    def test_untrained_until_enough_samples(self):
+        model = EvalModel(rng=0)
+        assert not model.is_trained
+        model.train(_make_samples(2, np.random.default_rng(0)))
+        assert not model.is_trained
+        model.train(_make_samples(50, np.random.default_rng(0)))
+        assert model.is_trained
+
+    def test_predictions_track_targets(self):
+        rng = np.random.default_rng(1)
+        samples = _make_samples(200, rng)
+        model = EvalModel(n_estimators=20, max_depth=8, rng=0)
+        model.train(samples)
+        low = model.predict(np.array([0.05, 0.5, 0.5, 0.5]), np.array([0.3, 0.3, 0.4]))
+        high = model.predict(np.array([0.95, 0.5, 0.5, 0.5]), np.array([0.3, 0.3, 0.4]))
+        assert low < high
+
+    def test_predict_before_training_raises(self):
+        with pytest.raises(RuntimeError):
+            EvalModel(rng=0).predict(np.zeros(4), np.zeros(3))
+
+    def test_predict_many_shape(self):
+        rng = np.random.default_rng(2)
+        model = EvalModel(rng=0)
+        model.train(_make_samples(60, rng))
+        features = rng.uniform(size=(5, 4))
+        weights = rng.dirichlet(np.ones(3), size=5)
+        assert model.predict_many(features, weights).shape == (5,)
+
+
+class TestMLGuide:
+    def test_untrained_guide_selects_randomly_but_valid(self):
+        guide = MLGuide(EvalModel(rng=0))
+        features = np.random.default_rng(0).uniform(size=(10, 4))
+        weights = np.random.default_rng(1).dirichlet(np.ones(3), size=10)
+        chosen = guide.select(features, weights, n_local=4, rng=0)
+        assert len(chosen) == 4
+        assert len(set(chosen.tolist())) == 4
+        assert all(0 <= int(i) < 10 for i in chosen)
+
+    def test_trained_guide_prefers_lowest_predicted_outcome(self):
+        rng = np.random.default_rng(3)
+        model = EvalModel(n_estimators=20, max_depth=8, rng=0)
+        model.train(_make_samples(300, rng))
+        guide = MLGuide(model)
+        # Population features: outcome grows with the first feature, so the
+        # lowest first-feature designs should be selected.
+        features = np.column_stack([
+            np.linspace(0.0, 1.0, 12),
+            np.full(12, 0.5),
+            np.full(12, 0.5),
+            np.full(12, 0.5),
+        ])
+        weights = np.tile(np.array([1 / 3, 1 / 3, 1 / 3]), (12, 1))
+        chosen = guide.select(features, weights, n_local=3, rng=0)
+        assert set(chosen.tolist()) <= set(range(6))
+
+    def test_n_local_clamped_to_population(self):
+        guide = MLGuide(EvalModel(rng=0))
+        features = np.zeros((3, 4))
+        weights = np.full((3, 2), 0.5)
+        chosen = guide.select(features, weights, n_local=10, rng=0)
+        assert len(chosen) == 3

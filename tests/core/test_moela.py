@@ -1,0 +1,99 @@
+"""Tests for the MOELA optimiser (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MOELAConfig
+from repro.core.moela import MOELA
+from repro.moo.termination import Budget
+from tests.moo.toyproblem import GridAnchorProblem
+
+
+def _smoke_config(**overrides):
+    base = dict(
+        population_size=8,
+        generations=50,
+        iter_early=1,
+        n_local=2,
+        delta=0.9,
+        neighborhood_size=4,
+        local_search_steps=4,
+        local_search_neighbors=2,
+        max_training_samples=300,
+        forest_size=5,
+        forest_depth=5,
+        seed=0,
+    )
+    base.update(overrides)
+    return MOELAConfig(**base)
+
+
+class TestMOELAOnToyProblem:
+    def test_run_produces_population_and_history(self):
+        problem = GridAnchorProblem(2)
+        result = MOELA(problem, _smoke_config(), rng=0).run(Budget.iterations(5))
+        assert result.algorithm == "MOELA"
+        assert len(result.designs) == 8
+        assert result.objectives.shape == (8, 2)
+        assert len(result.history) == 6
+
+    def test_hypervolume_improves_over_random_init(self):
+        problem = GridAnchorProblem(2)
+        result = MOELA(problem, _smoke_config(), rng=1).run(Budget.iterations(12))
+        reference = np.array([250.0, 250.0])
+        history = result.hypervolume_history(reference)
+        assert history[-1] > history[0]
+
+    def test_training_set_grows_and_eval_model_trains(self):
+        problem = GridAnchorProblem(2)
+        optimizer = MOELA(problem, _smoke_config(), rng=2)
+        result = optimizer.run(Budget.iterations(5))
+        assert len(optimizer.training_set) > 0
+        assert optimizer.eval_model.is_trained
+        assert result.metadata["eval_trained"]
+        assert result.metadata["training_samples"] == len(optimizer.training_set)
+
+    def test_training_set_respects_cap(self):
+        problem = GridAnchorProblem(2)
+        optimizer = MOELA(problem, _smoke_config(max_training_samples=20), rng=3)
+        optimizer.run(Budget.iterations(6))
+        assert len(optimizer.training_set) <= 20
+
+    def test_reference_point_is_population_ideal_or_better(self):
+        problem = GridAnchorProblem(2)
+        optimizer = MOELA(problem, _smoke_config(), rng=4)
+        optimizer.run(Budget.iterations(4))
+        assert np.all(optimizer.reference <= optimizer.objectives.min(axis=0) + 1e-9)
+
+    def test_respects_evaluation_budget(self):
+        problem = GridAnchorProblem(2)
+        optimizer = MOELA(problem, _smoke_config(), rng=5)
+        optimizer.run(Budget.evaluations(60))
+        # Initial population + at most one in-flight local-search step overshoot.
+        assert problem.eval_count <= 60 + 8 + 4
+
+    def test_three_objective_run(self):
+        problem = GridAnchorProblem(3)
+        result = MOELA(problem, _smoke_config(), rng=6).run(Budget.iterations(4))
+        assert result.objectives.shape[1] == 3
+
+    def test_reproducible_with_seed(self):
+        a = MOELA(GridAnchorProblem(2), _smoke_config(), rng=7).run(Budget.iterations(4))
+        b = MOELA(GridAnchorProblem(2), _smoke_config(), rng=7).run(Budget.iterations(4))
+        assert np.allclose(a.objectives, b.objectives)
+
+    def test_default_config_used_when_none_given(self):
+        optimizer = MOELA(GridAnchorProblem(2))
+        assert optimizer.config.population_size == MOELAConfig().population_size
+
+
+class TestMOELAOnNocProblem:
+    def test_short_run_on_tiny_platform(self, tiny_problem):
+        config = MOELAConfig.smoke()
+        result = MOELA(tiny_problem, config, rng=0).run(Budget.evaluations(120))
+        assert result.objectives.shape[1] == 3
+        assert np.all(result.objectives >= 0)
+        assert len(result.pareto_front()) >= 1
+        # All returned designs satisfy the Section III constraints.
+        for design in result.designs:
+            assert tiny_problem.is_feasible(design)

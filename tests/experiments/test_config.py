@@ -1,0 +1,45 @@
+"""Tests for the experiment configuration."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.noc.platform import PlatformConfig
+
+
+class TestExperimentConfig:
+    def test_default_uses_small_platform_and_six_apps(self):
+        config = ExperimentConfig()
+        assert config.platform.num_tiles == 27
+        assert len(config.applications) == 6
+        assert config.objective_counts == (3, 4, 5)
+
+    def test_smoke_config_is_tiny(self):
+        config = ExperimentConfig.smoke()
+        assert config.platform.num_tiles == 8
+        assert config.max_evaluations <= 200
+
+    def test_paper_scale_matches_section_v(self):
+        config = ExperimentConfig.paper_scale()
+        assert config.platform.num_tiles == 64
+        assert config.population_size == 50
+        assert config.moela.generations == 1000
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(applications=("NOT_AN_APP",))
+
+    def test_invalid_objective_count_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(objective_counts=(2,))
+        with pytest.raises(ValueError):
+            ExperimentConfig(objective_counts=())
+
+    def test_population_and_budget_minimums(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(population_size=2)
+        with pytest.raises(ValueError):
+            ExperimentConfig(max_evaluations=5)
+
+    def test_custom_platform_accepted(self):
+        config = ExperimentConfig(platform=PlatformConfig.tiny_2x2x2(), applications=("BFS",))
+        assert config.platform.num_tiles == 8

@@ -1,0 +1,93 @@
+"""Tests for the Table I / Table II / Fig. 3 builders."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.tables import (
+    BASELINES,
+    build_figure3,
+    build_table1,
+    build_table2,
+    format_figure3,
+    format_table,
+    run_all_comparisons,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_runs():
+    experiment = ExperimentConfig.smoke()
+    runs = run_all_comparisons(experiment)
+    return experiment, runs
+
+
+class TestRunAllComparisons:
+    def test_every_cell_has_all_algorithms(self, smoke_runs):
+        experiment, runs = smoke_runs
+        expected_keys = {
+            (app, m) for app in experiment.applications for m in experiment.objective_counts
+        }
+        assert set(runs) == expected_keys
+        for results in runs.values():
+            assert set(results) == {"MOELA", *BASELINES}
+
+    def test_progress_callback_invoked(self):
+        experiment = ExperimentConfig.smoke()
+        messages = []
+        run_all_comparisons(experiment, algorithms=("MOELA",), progress=messages.append)
+        assert len(messages) == len(experiment.applications) * len(experiment.objective_counts)
+
+
+class TestTables:
+    def test_table1_structure(self, smoke_runs):
+        experiment, runs = smoke_runs
+        table = build_table1(experiment, runs)
+        assert set(table.applications()) == set(experiment.applications)
+        assert len(table.cells) == (
+            len(BASELINES) * len(experiment.applications) * len(experiment.objective_counts)
+        )
+        for cell in table.cells:
+            assert np.isfinite(cell.value)
+            assert cell.value >= 0
+
+    def test_table2_structure(self, smoke_runs):
+        experiment, runs = smoke_runs
+        table = build_table2(experiment, runs)
+        assert len(table.cells) == (
+            len(BASELINES) * len(experiment.applications) * len(experiment.objective_counts)
+        )
+        for cell in table.cells:
+            assert np.isfinite(cell.value)
+
+    def test_column_average_consistency(self, smoke_runs):
+        experiment, runs = smoke_runs
+        table = build_table2(experiment, runs)
+        baseline, objectives = table.columns()[0]
+        values = [table.value(app, baseline, objectives) for app in table.applications()]
+        assert table.column_average(baseline, objectives) == pytest.approx(np.mean(values))
+
+    def test_missing_cell_lookup_raises(self, smoke_runs):
+        experiment, runs = smoke_runs
+        table = build_table1(experiment, runs)
+        with pytest.raises(KeyError):
+            table.value("BFS", "MOEA/D", 99)
+
+    def test_figure3_structure(self, smoke_runs):
+        experiment, runs = smoke_runs
+        figure = build_figure3(experiment, runs)
+        # Smoke config only runs 3 objectives, so the figure falls back to it.
+        assert all(cell.num_objectives == 3 for cell in figure.cells)
+        assert len(figure.cells) == len(BASELINES) * len(experiment.applications)
+        for cell in figure.cells:
+            assert np.isfinite(cell.value)
+
+    def test_formatting_includes_rows_and_average(self, smoke_runs):
+        experiment, runs = smoke_runs
+        table = build_table1(experiment, runs)
+        text = format_table(table)
+        assert "Average" in text
+        for app in experiment.applications:
+            assert app in text
+        figure_text = format_figure3(build_figure3(experiment, runs))
+        assert "EDP" in figure_text

@@ -1,0 +1,42 @@
+"""Tests for the regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mean_absolute_error, mean_squared_error, r2_score
+
+
+class TestMetrics:
+    def test_mse_known_value(self):
+        assert mean_squared_error([1.0, 2.0, 3.0], [1.0, 2.0, 5.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error([1.0, 2.0, 3.0], [2.0, 2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0.0
+        assert mean_absolute_error(y, y) == 0.0
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_predictor_has_zero_r2(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        predictions = np.full(4, y.mean())
+        assert r2_score(y, predictions) == pytest.approx(0.0)
+
+    def test_r2_can_be_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, [3.0, 3.0, 0.0]) < 0
+
+    def test_constant_target_r2(self):
+        y = np.full(5, 2.0)
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, y + 1.0) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0, 2.0], [1.0])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], [])

@@ -1,0 +1,56 @@
+"""Tests for train/test splitting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.split import train_test_split
+
+
+class TestSplit:
+    def test_sizes(self):
+        X = np.arange(40).reshape(20, 2)
+        y = np.arange(20)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_fraction=0.25, rng=0)
+        assert len(X_test) == 5
+        assert len(X_train) == 15
+        assert len(X_train) == len(y_train)
+        assert len(X_test) == len(y_test)
+
+    def test_partition_is_complete_and_disjoint(self):
+        X = np.arange(30).reshape(30, 1)
+        y = np.arange(30)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, rng=1)
+        combined = sorted(np.concatenate([y_train, y_test]).tolist())
+        assert combined == list(range(30))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(30).reshape(30, 1)
+        y = 2 * np.arange(30)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, rng=2)
+        assert np.all(y_train == 2 * X_train[:, 0])
+        assert np.all(y_test == 2 * X_test[:, 0])
+
+    def test_at_least_one_sample_each_side(self):
+        X = np.arange(4).reshape(2, 2)
+        y = np.arange(2)
+        X_train, X_test, _, _ = train_test_split(X, y, test_fraction=0.01, rng=0)
+        assert len(X_test) >= 1 and len(X_train) >= 1
+
+    def test_reproducible_with_seed(self):
+        X = np.arange(20).reshape(20, 1)
+        y = np.arange(20)
+        a = train_test_split(X, y, rng=7)
+        b = train_test_split(X, y, rng=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), test_fraction=1.0)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((1, 1)), np.zeros(1))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((3, 1)), np.zeros(4))

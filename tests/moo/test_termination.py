@@ -1,0 +1,85 @@
+"""Tests for budgets and convergence detection."""
+
+import time
+
+import pytest
+
+from repro.moo.termination import Budget, ConvergenceDetector, StopWatch
+
+
+class TestBudget:
+    def test_iteration_budget(self):
+        budget = Budget.iterations(5)
+        assert not budget.exhausted(4, 100, 10.0)
+        assert budget.exhausted(5, 0, 0.0)
+
+    def test_evaluation_budget(self):
+        budget = Budget.evaluations(100)
+        assert not budget.exhausted(1000, 99, 0.0)
+        assert budget.exhausted(0, 100, 0.0)
+
+    def test_seconds_budget(self):
+        budget = Budget.seconds(1.5)
+        assert not budget.exhausted(0, 0, 1.4)
+        assert budget.exhausted(0, 0, 1.5)
+
+    def test_any_condition_stops(self):
+        budget = Budget(max_iterations=10, max_evaluations=100)
+        assert budget.exhausted(10, 5, 0.0)
+        assert budget.exhausted(2, 100, 0.0)
+        assert not budget.exhausted(2, 5, 1e9)
+
+    def test_empty_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Budget()
+
+    def test_invalid_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Budget(max_iterations=0)
+        with pytest.raises(ValueError):
+            Budget(max_evaluations=0)
+        with pytest.raises(ValueError):
+            Budget(max_seconds=0.0)
+
+
+class TestConvergenceDetector:
+    def test_no_convergence_while_improving(self):
+        detector = ConvergenceDetector(window=3, tolerance=0.01)
+        values = [1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+        assert not any(detector.update(v) for v in values)
+
+    def test_convergence_on_plateau(self):
+        detector = ConvergenceDetector(window=3, tolerance=0.01)
+        converged = [detector.update(v) for v in [1.0, 2.0, 2.0, 2.0, 2.001, 2.001]]
+        assert converged[-1]
+        assert detector.converged_at is not None
+
+    def test_stays_converged_once_triggered(self):
+        detector = ConvergenceDetector(window=2, tolerance=0.01)
+        for value in [1.0, 1.0, 1.0, 1.0]:
+            detector.update(value)
+        assert detector.update(100.0)
+
+    def test_zero_baseline_does_not_trigger(self):
+        detector = ConvergenceDetector(window=2, tolerance=0.01)
+        assert not any(detector.update(v) for v in [0.0, 0.0, 0.0])
+
+    def test_values_recorded(self):
+        detector = ConvergenceDetector()
+        detector.update(1.0)
+        detector.update(2.0)
+        assert detector.values == [1.0, 2.0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ConvergenceDetector(window=0)
+        with pytest.raises(ValueError):
+            ConvergenceDetector(tolerance=-0.1)
+
+
+class TestStopWatch:
+    def test_elapsed_increases(self):
+        watch = StopWatch()
+        first = watch.elapsed()
+        time.sleep(0.01)
+        assert watch.elapsed() > first

@@ -1,0 +1,75 @@
+"""Tests for weight-vector generation and neighbourhoods."""
+
+import numpy as np
+import pytest
+
+from repro.moo.weights import das_dennis_weights, neighborhoods, uniform_weights
+
+
+class TestDasDennis:
+    def test_two_objective_lattice(self):
+        weights = das_dennis_weights(2, 10)
+        assert weights.shape == (11, 2)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert np.allclose(sorted(weights[:, 0]), np.linspace(0, 1, 11))
+
+    def test_three_objective_lattice_count(self):
+        # C(d + M - 1, M - 1) with d=4, M=3 -> C(6,2) = 15
+        assert das_dennis_weights(3, 4).shape == (15, 3)
+
+    def test_all_weights_nonnegative(self):
+        weights = das_dennis_weights(4, 5)
+        assert np.all(weights >= 0)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            das_dennis_weights(0, 2)
+        with pytest.raises(ValueError):
+            das_dennis_weights(2, 0)
+
+
+class TestUniformWeights:
+    @pytest.mark.parametrize("num_objectives,count", [(2, 7), (3, 16), (4, 20), (5, 50)])
+    def test_exact_count_and_simplex(self, num_objectives, count):
+        weights = uniform_weights(num_objectives, count, rng=0)
+        assert weights.shape == (count, num_objectives)
+        assert np.allclose(weights.sum(axis=1), 1.0)
+        assert np.all(weights >= 0)
+
+    def test_includes_extreme_directions_when_subsampling(self):
+        weights = uniform_weights(3, 12, rng=0)
+        for axis in range(3):
+            assert weights[:, axis].max() == pytest.approx(1.0)
+
+    def test_single_objective(self):
+        weights = uniform_weights(1, 5, rng=0)
+        assert np.allclose(weights, 1.0)
+
+    def test_rows_are_distinct(self):
+        weights = uniform_weights(3, 20, rng=0)
+        assert len({tuple(np.round(w, 9)) for w in weights}) == 20
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            uniform_weights(2, 0)
+
+
+class TestNeighborhoods:
+    def test_shape_and_self_first(self):
+        weights = uniform_weights(3, 10, rng=0)
+        neighbor_index = neighborhoods(weights, 4)
+        assert neighbor_index.shape == (10, 4)
+        assert np.all(neighbor_index[:, 0] == np.arange(10))
+
+    def test_neighbors_are_closest_vectors(self):
+        weights = uniform_weights(2, 11, rng=0)
+        neighbor_index = neighborhoods(weights, 3)
+        for i in range(11):
+            distances = np.linalg.norm(weights - weights[i], axis=1)
+            expected = set(np.argsort(distances, kind="stable")[:3].tolist())
+            assert set(neighbor_index[i].tolist()) == expected
+
+    def test_size_clamped_to_population(self):
+        weights = uniform_weights(2, 5, rng=0)
+        assert neighborhoods(weights, 50).shape == (5, 5)

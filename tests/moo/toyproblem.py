@@ -1,0 +1,76 @@
+"""A small combinatorial bi-/tri-objective toy problem shared by optimiser tests.
+
+Designs are integer grid points; the objectives are squared distances to fixed
+anchor points, so the Pareto set is the segment(s) between the anchors.  The
+problem is cheap to evaluate, has a known ideal point, and exercises the full
+Problem interface (neighbours, crossover, mutation, features).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.moo.problem import Problem
+
+
+class GridAnchorProblem(Problem):
+    """Minimise squared distances to ``num_objectives`` anchor points on a grid."""
+
+    def __init__(self, num_objectives: int = 2, size: int = 10):
+        self.size = size
+        corners = [
+            (0, 0),
+            (size, size),
+            (0, size),
+            (size, 0),
+            (size // 2, 0),
+        ]
+        self.anchors = [np.asarray(c, dtype=float) for c in corners[:num_objectives]]
+        self._num_objectives = num_objectives
+        self.eval_count = 0
+
+    @property
+    def name(self) -> str:
+        return f"grid-anchor-{self._num_objectives}obj"
+
+    @property
+    def num_objectives(self) -> int:
+        return self._num_objectives
+
+    def evaluate(self, design) -> np.ndarray:
+        self.eval_count += 1
+        point = np.asarray(design, dtype=float)
+        return np.array([float(np.sum((point - anchor) ** 2)) for anchor in self.anchors])
+
+    def random_design(self, rng=None):
+        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        return tuple(int(v) for v in rng.integers(0, self.size + 1, size=2))
+
+    def neighbor(self, design, rng=None):
+        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        x, y = design
+        dx, dy = rng.integers(-1, 2, size=2)
+        return (
+            int(np.clip(x + dx, 0, self.size)),
+            int(np.clip(y + dy, 0, self.size)),
+        )
+
+    def crossover(self, parent_a, parent_b, rng=None):
+        rng = np.random.default_rng(rng) if not isinstance(rng, np.random.Generator) else rng
+        if rng.random() < 0.5:
+            return (parent_a[0], parent_b[1])
+        return (parent_b[0], parent_a[1])
+
+    def mutate(self, design, rng=None):
+        return self.neighbor(design, rng)
+
+    def design_key(self, design):
+        return tuple(design)
+
+    def features(self, design) -> np.ndarray:
+        x, y = design
+        return np.array([float(x), float(y), float(x + y), float(abs(x - y))])
+
+    @property
+    def evaluations(self) -> int:
+        return self.eval_count

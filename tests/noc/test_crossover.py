@@ -1,0 +1,76 @@
+"""Tests for the genetic crossover operator."""
+
+import numpy as np
+import pytest
+
+from repro.noc.constraints import ConstraintChecker, random_design
+from repro.noc.crossover import crossover, crossover_links, crossover_placement
+from repro.noc.platform import PEType
+
+
+class TestCrossoverPlacement:
+    def test_child_placement_is_permutation(self, small_config):
+        rng = np.random.default_rng(0)
+        a = random_design(small_config, rng)
+        b = random_design(small_config, rng)
+        child = crossover_placement(a, b, small_config, rng)
+        assert sorted(child) == list(range(small_config.num_tiles))
+
+    def test_child_llcs_on_edge_tiles(self, small_config):
+        rng = np.random.default_rng(1)
+        grid = small_config.grid
+        a = random_design(small_config, rng)
+        b = random_design(small_config, rng)
+        for _ in range(10):
+            child = crossover_placement(a, b, small_config, rng)
+            for tile, pe in enumerate(child):
+                if small_config.pe_type(pe) is PEType.LLC:
+                    assert grid.is_edge_tile(tile)
+
+    def test_child_inherits_common_assignments(self, small_config):
+        rng = np.random.default_rng(2)
+        a = random_design(small_config, rng)
+        child = crossover_placement(a, a, small_config, rng)
+        assert tuple(child) == a.placement
+
+
+class TestCrossoverLinks:
+    def test_common_links_are_inherited(self, small_config):
+        rng = np.random.default_rng(3)
+        a = random_design(small_config, rng)
+        b = random_design(small_config, rng)
+        child_links = set(crossover_links(a, b, small_config, rng))
+        common = a.link_set() & b.link_set()
+        assert common <= child_links
+
+    def test_identical_parents_reproduce_links(self, small_config):
+        rng = np.random.default_rng(4)
+        a = random_design(small_config, rng)
+        child_links = set(crossover_links(a, a, small_config, rng))
+        assert child_links == a.link_set()
+
+
+class TestFullCrossover:
+    def test_offspring_is_feasible(self, small_config):
+        checker = ConstraintChecker(small_config)
+        rng = np.random.default_rng(5)
+        a = random_design(small_config, rng)
+        b = random_design(small_config, rng)
+        for _ in range(5):
+            child = crossover(a, b, small_config, rng)
+            assert checker.is_feasible(child)
+
+    def test_offspring_feasible_on_paper_platform(self, paper_config):
+        checker = ConstraintChecker(paper_config)
+        rng = np.random.default_rng(6)
+        a = random_design(paper_config, rng)
+        b = random_design(paper_config, rng)
+        child = crossover(a, b, paper_config, rng)
+        assert checker.is_feasible(child)
+
+    def test_crossover_is_reproducible_with_seed(self, tiny_config):
+        a = random_design(tiny_config, 1)
+        b = random_design(tiny_config, 2)
+        child_1 = crossover(a, b, tiny_config, np.random.default_rng(9))
+        child_2 = crossover(a, b, tiny_config, np.random.default_rng(9))
+        assert child_1 == child_2

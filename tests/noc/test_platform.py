@@ -1,0 +1,88 @@
+"""Tests for the platform configuration."""
+
+import numpy as np
+import pytest
+
+from repro.noc.platform import PEType, PlatformConfig
+
+
+class TestFactoryConfigs:
+    def test_paper_platform_matches_section_v(self):
+        config = PlatformConfig.paper_4x4x4()
+        assert config.num_tiles == 64
+        assert config.num_cpus == 8
+        assert config.num_gpus == 40
+        assert config.num_llcs == 16
+        assert config.num_planar_links == 96
+        assert config.num_vertical_links == 48
+        assert config.cpu_frequency_ghz == pytest.approx(2.5)
+        assert config.gpu_frequency_ghz == pytest.approx(0.7)
+
+    def test_paper_planar_budget_equals_mesh(self):
+        config = PlatformConfig.paper_4x4x4()
+        assert config.num_planar_links == config.mesh_planar_links
+
+    def test_small_and_tiny_configs_are_valid(self):
+        for config in (PlatformConfig.small_3x3x3(), PlatformConfig.tiny_2x2x2(), PlatformConfig.flat_4x4x1()):
+            assert config.num_cpus + config.num_gpus + config.num_llcs == config.num_tiles
+
+    def test_vertical_budget_matches_candidates(self):
+        config = PlatformConfig.paper_4x4x4()
+        assert config.max_vertical_candidates == 48
+
+
+class TestValidation:
+    def test_pe_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(n=2, layers=2, num_cpus=1, num_gpus=1, num_llcs=1,
+                           num_planar_links=8, num_vertical_links=4)
+
+    def test_too_many_vertical_links_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(n=2, layers=2, num_cpus=2, num_gpus=3, num_llcs=3,
+                           num_planar_links=8, num_vertical_links=5)
+
+    def test_insufficient_links_for_connectivity_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(n=2, layers=2, num_cpus=2, num_gpus=3, num_llcs=3,
+                           num_planar_links=2, num_vertical_links=1)
+
+    def test_llcs_must_fit_on_edge_tiles(self):
+        # A 3x3x1 die has 8 edge tiles; 9 LLCs cannot fit.
+        with pytest.raises(ValueError):
+            PlatformConfig(n=3, layers=1, num_cpus=0, num_gpus=0, num_llcs=9,
+                           num_planar_links=12, num_vertical_links=0)
+
+    def test_zero_llcs_rejected(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(n=2, layers=1, num_cpus=2, num_gpus=2, num_llcs=0,
+                           num_planar_links=4, num_vertical_links=0)
+
+
+class TestPECatalogue:
+    def test_pe_type_blocks(self):
+        config = PlatformConfig.tiny_2x2x2()
+        types = [config.pe_type(i) for i in range(config.num_tiles)]
+        assert types[: config.num_cpus] == [PEType.CPU] * config.num_cpus
+        assert types[config.num_cpus : config.num_cpus + config.num_gpus] == [PEType.GPU] * config.num_gpus
+        assert types[config.num_cpus + config.num_gpus :] == [PEType.LLC] * config.num_llcs
+
+    def test_id_arrays_partition_all_pes(self):
+        config = PlatformConfig.small_3x3x3()
+        ids = np.concatenate([config.cpu_ids, config.gpu_ids, config.llc_ids])
+        assert sorted(ids.tolist()) == list(range(config.num_tiles))
+
+    def test_pe_type_out_of_range(self):
+        config = PlatformConfig.tiny_2x2x2()
+        with pytest.raises(ValueError):
+            config.pe_type(config.num_tiles)
+
+    def test_frequency_by_type(self):
+        config = PlatformConfig.paper_4x4x4()
+        assert config.frequency_ghz(int(config.cpu_ids[0])) == pytest.approx(2.5)
+        assert config.frequency_ghz(int(config.gpu_ids[0])) == pytest.approx(0.7)
+        assert config.frequency_ghz(int(config.llc_ids[0])) == pytest.approx(2.5)
+
+    def test_pe_types_tuple_length(self):
+        config = PlatformConfig.small_3x3x3()
+        assert len(config.pe_types) == config.num_tiles

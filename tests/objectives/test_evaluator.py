@@ -1,0 +1,94 @@
+"""Tests for the composite objective evaluator and scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.objectives.evaluator import (
+    OBJECTIVE_NAMES,
+    ObjectiveEvaluator,
+    ObjectiveScenario,
+    SCENARIO_3OBJ,
+    SCENARIO_4OBJ,
+    SCENARIO_5OBJ,
+    scenario_for,
+)
+
+
+class TestScenarios:
+    def test_paper_scenarios(self):
+        assert scenario_for(3) is SCENARIO_3OBJ
+        assert scenario_for(4) is SCENARIO_4OBJ
+        assert scenario_for(5) is SCENARIO_5OBJ
+        assert SCENARIO_3OBJ.objectives == OBJECTIVE_NAMES[:3]
+        assert SCENARIO_5OBJ.num_objectives == 5
+
+    def test_invalid_scenario_count(self):
+        with pytest.raises(ValueError):
+            scenario_for(2)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveScenario("bad", ("traffic_mean", "bogus"))
+
+    def test_duplicate_objective_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveScenario("bad", ("traffic_mean", "traffic_mean"))
+
+    def test_single_objective_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectiveScenario("bad", ("traffic_mean",))
+
+
+class TestEvaluator:
+    def test_vector_length_matches_scenario(self, tiny_workload, tiny_designs):
+        for count in (3, 4, 5):
+            evaluator = ObjectiveEvaluator(tiny_workload, scenario_for(count))
+            assert evaluator.evaluate(tiny_designs[0]).shape == (count,)
+
+    def test_prefix_consistency_across_scenarios(self, tiny_workload, tiny_designs):
+        design = tiny_designs[0]
+        three = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ).evaluate(design)
+        five = ObjectiveEvaluator(tiny_workload, SCENARIO_5OBJ).evaluate(design)
+        assert np.allclose(three, five[:3])
+
+    def test_all_objectives_nonnegative(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_5OBJ)
+        for design in tiny_designs:
+            assert np.all(evaluator.evaluate(design) >= 0)
+
+    def test_cache_hits_counted(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
+        first = evaluator.evaluate(tiny_designs[0])
+        second = evaluator.evaluate(tiny_designs[0])
+        assert np.allclose(first, second)
+        assert evaluator.evaluations == 1
+        assert evaluator.cache_hits == 1
+
+    def test_cache_can_be_disabled(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ, cache_size=0)
+        evaluator.evaluate(tiny_designs[0])
+        evaluator.evaluate(tiny_designs[0])
+        assert evaluator.evaluations == 2
+
+    def test_cache_returns_copies(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
+        first = evaluator.evaluate(tiny_designs[0])
+        first[0] = -1.0
+        assert evaluator.evaluate(tiny_designs[0])[0] >= 0
+
+    def test_evaluate_many_shape(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_4OBJ)
+        matrix = evaluator.evaluate_many(list(tiny_designs))
+        assert matrix.shape == (len(tiny_designs), 4)
+
+    def test_full_report_contains_all_objectives(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
+        report = evaluator.full_report(tiny_designs[0])
+        for name in OBJECTIVE_NAMES:
+            assert name in report
+        assert "peak_temperature" in report
+
+    def test_objective_names_property(self, tiny_workload):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_4OBJ)
+        assert evaluator.objective_names == SCENARIO_4OBJ.objectives
+        assert evaluator.num_objectives == 4

@@ -1,0 +1,43 @@
+"""Tests for the queueing primitives."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.queueing import MAX_UTILIZATION, mm1_waiting_time, normalize_injection
+
+
+class TestMM1:
+    def test_zero_load_zero_wait(self):
+        assert mm1_waiting_time(0.0) == 0.0
+
+    def test_half_load_waits_one_service_time(self):
+        assert mm1_waiting_time(0.5) == pytest.approx(1.0)
+
+    def test_wait_is_monotone_in_load(self):
+        loads = np.linspace(0.0, 0.95, 20)
+        waits = mm1_waiting_time(loads)
+        assert np.all(np.diff(waits) > 0)
+
+    def test_saturated_load_is_clamped(self):
+        assert mm1_waiting_time(5.0) == pytest.approx(
+            MAX_UTILIZATION / (1.0 - MAX_UTILIZATION)
+        )
+
+    def test_array_input_returns_array(self):
+        waits = mm1_waiting_time(np.array([0.1, 0.2]))
+        assert isinstance(waits, np.ndarray)
+        assert waits.shape == (2,)
+
+    def test_invalid_clamp_rejected(self):
+        with pytest.raises(ValueError):
+            mm1_waiting_time(0.5, max_utilization=1.0)
+
+
+class TestNormalizeInjection:
+    def test_scaling(self):
+        loads = np.array([50.0, 100.0])
+        assert np.allclose(normalize_injection(loads, 200.0), [0.25, 0.5])
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            normalize_injection(np.array([1.0]), 0.0)

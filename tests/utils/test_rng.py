@@ -1,0 +1,49 @@
+"""Tests for RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(5).integers(0, 1000, size=10)
+        b = ensure_rng(5).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-an-rng")
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(7)
+        assert isinstance(ensure_rng(seed), np.random.Generator)
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(np.random.default_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(np.random.default_rng(0), 2)
+        a = children[0].integers(0, 10_000, size=20)
+        b = children[1].integers(0, 10_000, size=20)
+        assert not np.array_equal(a, b)
+
+    def test_spawn_is_reproducible_from_parent_seed(self):
+        first = spawn_rng(np.random.default_rng(3), 2)[0].integers(0, 100, size=5)
+        second = spawn_rng(np.random.default_rng(3), 2)[0].integers(0, 100, size=5)
+        assert np.array_equal(first, second)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(np.random.default_rng(0), -1)

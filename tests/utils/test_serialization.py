@@ -1,0 +1,79 @@
+"""Tests for JSON serialisation of designs and results."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.moo.result import OptimizationResult, SearchSnapshot
+from repro.noc.constraints import ConstraintChecker
+from repro.utils.serialization import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    platform_to_dict,
+    result_to_dict,
+    save_design,
+    save_result,
+)
+
+
+class TestDesignSerialization:
+    def test_round_trip_in_memory(self, tiny_designs):
+        design = tiny_designs[0]
+        rebuilt = design_from_dict(design_to_dict(design))
+        assert rebuilt == design
+
+    def test_round_trip_via_file(self, tiny_config, tiny_designs, tmp_path):
+        path = save_design(tiny_designs[1], tmp_path / "design.json")
+        rebuilt = load_design(path)
+        assert rebuilt == tiny_designs[1]
+        assert ConstraintChecker(tiny_config).is_feasible(rebuilt)
+
+    def test_payload_is_plain_json(self, tiny_designs):
+        payload = design_to_dict(tiny_designs[0])
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ValueError):
+            design_from_dict({"placement": [0, 1]})
+
+
+class TestPlatformSerialization:
+    def test_platform_dict_fields(self, tiny_config):
+        payload = platform_to_dict(tiny_config)
+        assert payload["n"] == tiny_config.n
+        assert payload["num_planar_links"] == tiny_config.num_planar_links
+        json.dumps(payload)
+
+
+class TestResultSerialization:
+    def _result(self, designs):
+        history = [SearchSnapshot(0, 5, 0.1, [[1.0, 2.0]]), SearchSnapshot(1, 10, 0.2, [[0.5, 1.5]])]
+        return OptimizationResult(
+            algorithm="MOELA",
+            problem_name="toy",
+            designs=list(designs),
+            objectives=np.array([[1.0, 2.0], [2.0, 1.0]]),
+            history=history,
+            evaluations=10,
+            elapsed_seconds=0.2,
+        )
+
+    def test_result_summary_fields(self, tiny_designs):
+        payload = result_to_dict(self._result(tiny_designs[:2]))
+        assert payload["algorithm"] == "MOELA"
+        assert payload["evaluations"] == 10
+        assert len(payload["history"]) == 2
+        assert len(payload["designs"]) == 2
+        json.dumps(payload)
+
+    def test_result_with_reference_includes_hypervolume(self, tiny_designs):
+        payload = result_to_dict(self._result(tiny_designs[:2]), reference=np.array([5.0, 5.0]))
+        assert payload["hypervolume"] > 0
+        assert payload["reference_point"] == [5.0, 5.0]
+
+    def test_save_result_writes_json(self, tiny_designs, tmp_path):
+        path = save_result(self._result(tiny_designs[:2]), tmp_path / "result.json")
+        loaded = json.loads(path.read_text())
+        assert loaded["problem"] == "toy"

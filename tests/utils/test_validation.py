@@ -1,0 +1,36 @@
+"""Tests for validation helpers."""
+
+import pytest
+
+from repro.utils.validation import require, require_positive, require_probability
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="custom message"):
+            require(False, "custom message")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "x")
+        require_positive(0.5, "x")
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5, None])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError):
+            require_positive(value, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, None])
+    def test_rejects_outside_unit_interval(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value, "p")

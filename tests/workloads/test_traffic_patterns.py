@@ -1,0 +1,81 @@
+"""Tests for the traffic-pattern primitives."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import traffic_patterns as patterns
+
+
+ALL_PATTERNS = [
+    lambda config, rng: patterns.cpu_llc_requests(config, 5.0, rng),
+    lambda config, rng: patterns.gpu_llc_streaming(config, 5.0, rng),
+    lambda config, rng: patterns.gpu_neighbor_sharing(config, 5.0, rng),
+    lambda config, rng: patterns.hotspot(config, 5.0, rng),
+    lambda config, rng: patterns.cpu_gpu_coordination(config, 5.0, rng),
+    lambda config, rng: patterns.uniform_random(config, 5.0, rng),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("factory", ALL_PATTERNS)
+    def test_shape_nonnegative_zero_diagonal(self, small_config, factory):
+        rng = np.random.default_rng(0)
+        traffic = factory(small_config, rng)
+        n = small_config.num_tiles
+        assert traffic.shape == (n, n)
+        assert np.all(traffic >= 0)
+        assert np.all(np.diag(traffic) == 0)
+
+    @pytest.mark.parametrize("factory", ALL_PATTERNS)
+    def test_deterministic_for_seeded_rng(self, small_config, factory):
+        a = factory(small_config, np.random.default_rng(3))
+        b = factory(small_config, np.random.default_rng(3))
+        assert np.allclose(a, b)
+
+
+class TestClassStructure:
+    def test_cpu_llc_requests_only_touch_cpu_llc_pairs(self, small_config):
+        traffic = patterns.cpu_llc_requests(small_config, 4.0, np.random.default_rng(1))
+        gpu = small_config.gpu_ids
+        assert traffic[np.ix_(gpu, gpu)].sum() == 0.0
+        cpu, llc = small_config.cpu_ids, small_config.llc_ids
+        assert traffic[np.ix_(cpu, llc)].sum() > 0
+        assert traffic[np.ix_(llc, cpu)].sum() > 0
+
+    def test_llc_responses_exceed_requests(self, small_config):
+        traffic = patterns.cpu_llc_requests(small_config, 4.0, np.random.default_rng(1))
+        cpu, llc = small_config.cpu_ids, small_config.llc_ids
+        assert traffic[np.ix_(llc, cpu)].sum() > traffic[np.ix_(cpu, llc)].sum()
+
+    def test_gpu_streaming_reads_dominate(self, small_config):
+        traffic = patterns.gpu_llc_streaming(small_config, 4.0, np.random.default_rng(2))
+        gpu, llc = small_config.gpu_ids, small_config.llc_ids
+        assert traffic[np.ix_(llc, gpu)].sum() > traffic[np.ix_(gpu, llc)].sum()
+
+    def test_neighbor_sharing_only_between_gpus(self, small_config):
+        traffic = patterns.gpu_neighbor_sharing(small_config, 4.0, np.random.default_rng(3))
+        cpu, llc = small_config.cpu_ids, small_config.llc_ids
+        others = np.concatenate([cpu, llc])
+        assert traffic[others, :].sum() == 0.0
+        assert traffic[:, others].sum() == 0.0
+
+    def test_hotspot_concentrates_on_few_llcs(self, small_config):
+        traffic = patterns.hotspot(small_config, 6.0, np.random.default_rng(4), num_hot=2)
+        llc = small_config.llc_ids
+        received = traffic[:, llc].sum(axis=0)
+        assert int(np.count_nonzero(received)) <= 2
+
+    def test_coordination_links_each_gpu_to_one_cpu(self, small_config):
+        traffic = patterns.cpu_gpu_coordination(small_config, 4.0, np.random.default_rng(5))
+        cpu, gpu = small_config.cpu_ids, small_config.gpu_ids
+        per_gpu_sources = (traffic[np.ix_(cpu, gpu)] > 0).sum(axis=0)
+        assert np.all(per_gpu_sources == 1)
+
+    def test_uniform_random_density(self, small_config):
+        traffic = patterns.uniform_random(small_config, 4.0, np.random.default_rng(6), density=0.5)
+        n = small_config.num_tiles
+        fraction = np.count_nonzero(traffic) / (n * n - n)
+        assert 0.2 < fraction < 0.8
+
+    def test_empty_traffic_is_zero(self, small_config):
+        assert patterns.empty_traffic(small_config).sum() == 0.0
