@@ -24,6 +24,9 @@ from repro.workloads.registry import get_workload
 PLATFORM = PlatformConfig.small_3x3x3()
 WORKLOAD = get_workload("BFS", PLATFORM, seed=0)
 DESIGNS = [random_design(PLATFORM, seed) for seed in range(8)]
+#: Population-sized batch used by the batch-evaluation benches (32 designs,
+#: matching a typical optimiser population).
+POPULATION = [random_design(PLATFORM, seed) for seed in range(100, 132)]
 
 
 @pytest.mark.benchmark(group="components")
@@ -38,6 +41,56 @@ def test_objective_evaluation_5obj(benchmark):
 
     values = benchmark(evaluate_next)
     assert np.all(values >= 0)
+
+
+@pytest.mark.benchmark(group="components")
+def test_batch_evaluation_5obj_population(benchmark):
+    """Vectorized 5-objective batch evaluation of a 32-design population."""
+    evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+    matrix = benchmark(lambda: evaluator.evaluate_many(POPULATION))
+    assert matrix.shape == (len(POPULATION), 5)
+    assert np.all(matrix >= 0)
+
+
+@pytest.mark.benchmark(group="components")
+def test_scalar_reference_evaluation_5obj_population(benchmark):
+    """Looped scalar-reference 5-objective evaluation of the same population."""
+    evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+    matrix = benchmark(
+        lambda: np.array([evaluator.evaluate_reference(d) for d in POPULATION])
+    )
+    assert matrix.shape == (len(POPULATION), 5)
+
+
+@pytest.mark.perf
+def test_batch_evaluation_speedup_and_equivalence():
+    """The batch engine is >= 3x faster than the looped scalar reference and exact.
+
+    Not a pytest-benchmark case on purpose: it asserts the acceptance
+    criterion (3x throughput on a 32-design 5-objective population) directly.
+    Marked ``perf`` so noisy environments can deselect it structurally with
+    ``-m "not perf"`` (the CI smoke job does).
+    """
+    import time
+
+    evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+    # Warm-up outside the timed sections (imports, allocator, BLAS threads).
+    evaluator.evaluate_many(POPULATION[:2])
+    evaluator.evaluate_reference(POPULATION[0])
+
+    start = time.perf_counter()
+    batch = evaluator.evaluate_many(POPULATION)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar = np.array([evaluator.evaluate_reference(d) for d in POPULATION])
+    scalar_seconds = time.perf_counter() - start
+
+    np.testing.assert_allclose(batch, scalar, rtol=1e-12)
+    speedup = scalar_seconds / batch_seconds
+    print(f"batch {batch_seconds * 1e3:.1f} ms vs scalar {scalar_seconds * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x")
+    assert speedup >= 3.0, f"batch evaluation only {speedup:.2f}x faster than scalar loop"
 
 
 @pytest.mark.benchmark(group="components")

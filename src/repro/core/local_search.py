@@ -60,6 +60,7 @@ class MoelaLocalSearch:
         scale: np.ndarray | None = None,
         rng=None,
         evaluate=None,
+        evaluate_many=None,
     ) -> MoelaSearchOutcome:
         """Run one local search for the sub-problem defined by ``weight``.
 
@@ -72,6 +73,9 @@ class MoelaLocalSearch:
         evaluate:
             Optional evaluation callable used to count evaluations at the
             optimiser level; defaults to ``problem.evaluate``.
+        evaluate_many:
+            Optional batch evaluation callable; when given, each step's
+            neighbours are scored through one batch call.
         """
         rng = ensure_rng(rng)
         weight = np.asarray(weight, dtype=np.float64)
@@ -90,6 +94,7 @@ class MoelaLocalSearch:
             patience=self.patience,
             rng=rng,
             evaluate=evaluate,
+            evaluate_many=evaluate_many,
         )
         samples = tuple(
             TrainingSample(

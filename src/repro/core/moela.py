@@ -17,6 +17,8 @@ Each iteration of MOELA runs three integrated stages:
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.core.config import MOELAConfig
@@ -64,7 +66,7 @@ class MOELA(PopulationOptimizer):
         )
         self.training_set: list[TrainingSample] = []
         self.reference: np.ndarray | None = None
-        self._feature_cache: dict = {}
+        self._feature_cache: OrderedDict = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Algorithm 1
@@ -73,7 +75,7 @@ class MOELA(PopulationOptimizer):
         super().initialize()
         self.reference = self.objectives.min(axis=0)
         self.training_set = []
-        self._feature_cache = {}
+        self._feature_cache = OrderedDict()
 
     def objective_scale(self) -> np.ndarray:
         """Per-objective normalisation span (population nadir minus ideal point)."""
@@ -104,7 +106,9 @@ class MOELA(PopulationOptimizer):
             scale=self.objective_scale(),
             rng=self.rng,
             evaluate=self.evaluate,
+            evaluate_many=self.evaluate_batch,
             should_stop=stop,
+            max_children=budget.remaining_evaluations(self.evaluations),
         )
 
     # ------------------------------------------------------------------ #
@@ -126,6 +130,7 @@ class MOELA(PopulationOptimizer):
             scale=self.objective_scale(),
             rng=self.rng,
             evaluate=self.evaluate,
+            evaluate_many=self.evaluate_batch,
         )
         self.reference = np.minimum(self.reference, outcome.objectives)
         self._update_population(outcome.design, outcome.objectives, index)
@@ -161,12 +166,22 @@ class MOELA(PopulationOptimizer):
             self.training_set = self.training_set[-cap:]
 
     def _features(self, design) -> np.ndarray:
+        """Feature vector of a design, memoised with LRU-bounded eviction.
+
+        The cache holds ``4 * population_size`` entries and evicts the least
+        recently used one, so still-live population members are never dropped
+        wholesale mid-iteration (the previous flush-everything policy threw
+        away features the current selection round was about to reuse).
+        """
         key = self.problem.design_key(design)
-        if key not in self._feature_cache:
-            if len(self._feature_cache) > 4 * self.config.population_size:
-                self._feature_cache.clear()
-            self._feature_cache[key] = self.problem.features(design)
-        return self._feature_cache[key]
+        if key in self._feature_cache:
+            self._feature_cache.move_to_end(key)
+            return self._feature_cache[key]
+        features = self.problem.features(design)
+        self._feature_cache[key] = features
+        if len(self._feature_cache) > 4 * self.config.population_size:
+            self._feature_cache.popitem(last=False)
+        return features
 
     # ------------------------------------------------------------------ #
     # Result assembly

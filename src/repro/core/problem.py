@@ -36,6 +36,10 @@ class NocDesignProblem(Problem):
         Size of the objective-vector memoisation cache.
     mutation_strength:
         Number of random moves applied by :meth:`mutate`.
+    parallel_evaluation:
+        When True, batch evaluations (:meth:`evaluate_many`) compute cache
+        misses on a process pool; the serial default is faster for the small
+        platforms used in tests.
     """
 
     def __init__(
@@ -44,6 +48,7 @@ class NocDesignProblem(Problem):
         scenario: "int | ObjectiveScenario" = 5,
         cache_size: int = 50_000,
         mutation_strength: int = 1,
+        parallel_evaluation: bool = False,
     ):
         if isinstance(scenario, int):
             scenario = scenario_for(scenario)
@@ -55,6 +60,7 @@ class NocDesignProblem(Problem):
         self.checker = ConstraintChecker(self.config)
         self.featurizer = DesignFeaturizer(self.config, workload)
         self.mutation_strength = mutation_strength
+        self.parallel_evaluation = parallel_evaluation
 
     # ------------------------------------------------------------------ #
     # Problem interface
@@ -74,6 +80,9 @@ class NocDesignProblem(Problem):
 
     def evaluate(self, design: NocDesign) -> np.ndarray:
         return self.evaluator.evaluate(design)
+
+    def evaluate_many(self, designs: list[NocDesign]) -> np.ndarray:
+        return self.evaluator.evaluate_many(designs, parallel=self.parallel_evaluation)
 
     def random_design(self, rng=None) -> NocDesign:
         return random_design(self.config, ensure_rng(rng))

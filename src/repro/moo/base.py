@@ -62,11 +62,15 @@ class PopulationOptimizer:
         return self.build_result()
 
     def initialize(self) -> None:
-        """Create and evaluate the initial population (random by default)."""
+        """Create and evaluate the initial population (random by default).
+
+        The whole initial population is scored through one
+        :meth:`evaluate_batch` call so problems with a batch evaluation path
+        (shared routing reuse, cache partitioning, parallel workers) are used
+        at full effect.
+        """
         self.designs = [self.problem.random_design(self.rng) for _ in range(self.population_size)]
-        self.objectives = np.array(
-            [self.evaluate(d) for d in self.designs], dtype=np.float64
-        )
+        self.objectives = self.evaluate_batch(self.designs)
 
     def step(self, iteration: int, budget: Budget) -> None:
         """One iteration of the algorithm (must be overridden)."""
@@ -80,6 +84,21 @@ class PopulationOptimizer:
         self.evaluations += 1
         objectives = np.asarray(self.problem.evaluate(design), dtype=np.float64)
         self.archive.add(design, objectives)
+        return objectives
+
+    def evaluate_batch(self, designs: list[Any]) -> np.ndarray:
+        """Batch counterpart of :meth:`evaluate` for population-scale scoring.
+
+        Routes through :meth:`Problem.evaluate_many` (one call for the whole
+        batch), counts every design as one evaluation, and archives each
+        result, exactly as the scalar wrapper does.
+        """
+        if not designs:
+            return np.empty((0, self.problem.num_objectives), dtype=np.float64)
+        objectives = np.asarray(self.problem.evaluate_many(designs), dtype=np.float64)
+        self.evaluations += len(designs)
+        for design, vector in zip(designs, objectives):
+            self.archive.add(design, vector)
         return objectives
 
     def elapsed(self) -> float:

@@ -54,13 +54,17 @@ def greedy_descent(
     patience: int = 3,
     rng=None,
     evaluate: Callable[[Any], np.ndarray] | None = None,
+    evaluate_many: Callable[[list[Any]], np.ndarray] | None = None,
 ) -> LocalSearchResult:
     """Greedy first/best-improvement descent on ``scalar_fn``.
 
     At every step ``neighbors_per_step`` random neighbours of the current
-    design are evaluated and the best one is accepted if it improves the
-    scalar value; the search stops after ``patience`` consecutive
-    non-improving steps or ``max_steps`` steps.
+    design are generated and scored — through one ``evaluate_many`` batch
+    call when provided, per-design otherwise — and the best one is accepted
+    if it improves the scalar value; the search stops after ``patience``
+    consecutive non-improving steps or ``max_steps`` steps.  Neighbour
+    generation happens before any evaluation, so the batch and per-design
+    paths consume the RNG identically and visit the same designs.
 
     Parameters
     ----------
@@ -69,6 +73,10 @@ def greedy_descent(
     evaluate:
         Objective evaluation callable; defaults to ``problem.evaluate`` (pass
         the optimiser's counting wrapper to track evaluation effort).
+    evaluate_many:
+        Optional batch evaluation callable mapping a list of designs to an
+        objective matrix; when given it scores each step's neighbours in one
+        call (pass the optimiser's counting batch wrapper).
     """
     if max_steps < 1:
         raise ValueError("max_steps must be >= 1")
@@ -89,10 +97,15 @@ def greedy_descent(
         best_candidate = None
         best_candidate_obj = None
         best_candidate_value = current_value
-        for _ in range(neighbors_per_step):
-            candidate = problem.neighbor(current, rng)
-            candidate_obj = np.asarray(evaluate(candidate), dtype=np.float64)
-            evaluations += 1
+        candidates = [problem.neighbor(current, rng) for _ in range(neighbors_per_step)]
+        if evaluate_many is not None:
+            candidate_objs = np.asarray(evaluate_many(candidates), dtype=np.float64)
+        else:
+            candidate_objs = [
+                np.asarray(evaluate(candidate), dtype=np.float64) for candidate in candidates
+            ]
+        evaluations += len(candidates)
+        for candidate, candidate_obj in zip(candidates, candidate_objs):
             value = float(scalar_fn(candidate, candidate_obj))
             trajectory.append(TrajectoryPoint(candidate, candidate_obj.copy(), value))
             if value < best_candidate_value:

@@ -31,6 +31,15 @@ class Problem(ABC):
     def evaluate(self, design: Any) -> np.ndarray:
         """Objective vector of a design (length ``num_objectives``)."""
 
+    def evaluate_many(self, designs: list[Any]) -> np.ndarray:
+        """Objective matrix (``len(designs) x num_objectives``) for a batch.
+
+        The default loops over :meth:`evaluate`; problems with a cheaper batch
+        path (shared routing, caching, parallelism) should override this —
+        optimisers route all population-scale evaluation through it.
+        """
+        return np.array([self.evaluate(design) for design in designs], dtype=np.float64)
+
     @abstractmethod
     def random_design(self, rng=None) -> Any:
         """A random feasible design."""

@@ -41,6 +41,12 @@ class Budget:
             return True
         return False
 
+    def remaining_evaluations(self, evaluations: int) -> int | None:
+        """Evaluations left before the evaluation limit, or None if unlimited."""
+        if self.max_evaluations is None:
+            return None
+        return max(0, self.max_evaluations - evaluations)
+
     @classmethod
     def iterations(cls, count: int) -> "Budget":
         """Budget limited only by iteration count."""

@@ -21,7 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.noc.geometry import Grid3D
-from repro.noc.links import Link, LinkKind, link_kind, link_length
+from repro.noc.links import Link, LinkKind, link_kind, link_lengths_array
 from repro.noc.platform import PEType, PlatformConfig
 
 
@@ -114,7 +114,7 @@ class NocDesign:
 
     def link_lengths(self, grid: Grid3D) -> np.ndarray:
         """Physical length of every link (``d_k``), in link order."""
-        return np.array([link_length(link, grid) for link in self.links], dtype=np.float64)
+        return link_lengths_array(self.links, grid)
 
     def tiles_of_type(self, config: PlatformConfig, pe_type: PEType) -> list[int]:
         """Tiles hosting PEs of the given type."""

@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=True)
 class TileCoord:
@@ -77,6 +79,18 @@ class Grid3D:
         z, rest = divmod(tile_id, self.tiles_per_layer)
         y, x = divmod(rest, self.n)
         return TileCoord(x=x, y=y, z=z)
+
+    def coords_arrays(self, tile_ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`coord`: ``(x, y, z)`` arrays for an array of tile ids.
+
+        The single authoritative decode of the linear tile layout — vectorized
+        callers (routing, thermal) use this instead of re-deriving the
+        ``divmod`` arithmetic.
+        """
+        tile_ids = np.asarray(tile_ids, dtype=np.int64)
+        z, rest = np.divmod(tile_ids, self.tiles_per_layer)
+        y, x = np.divmod(rest, self.n)
+        return x, y, z
 
     def column_id(self, tile_id: int) -> int:
         """Return the single-tile-stack (column) index of a tile."""

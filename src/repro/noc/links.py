@@ -14,6 +14,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.noc.geometry import Grid3D
 from repro.noc.platform import PlatformConfig
@@ -70,6 +73,22 @@ def link_kind(link: Link, grid: Grid3D) -> LinkKind:
 def link_length(link: Link, grid: Grid3D) -> int:
     """Physical length of a link in tile units (``d_k`` of the energy model)."""
     return grid.manhattan_distance(link.a, link.b)
+
+
+def link_lengths_array(links: Sequence[Link] | Iterable[Link], grid: Grid3D) -> np.ndarray:
+    """Vectorized :func:`link_length` for a sequence of links (``d_k`` vector).
+
+    The single vectorized twin of the scalar metric — batch consumers
+    (routing tables, design statistics) call this so the length formula lives
+    in one module.
+    """
+    links = list(links)
+    num = len(links)
+    ends_a = np.fromiter((link.a for link in links), dtype=np.int64, count=num)
+    ends_b = np.fromiter((link.b for link in links), dtype=np.int64, count=num)
+    xa, ya, za = grid.coords_arrays(ends_a)
+    xb, yb, zb = grid.coords_arrays(ends_b)
+    return (np.abs(xa - xb) + np.abs(ya - yb) + np.abs(za - zb)).astype(np.float64)
 
 
 def is_feasible_link(link: Link, config: PlatformConfig) -> bool:

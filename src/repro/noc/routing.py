@@ -8,6 +8,30 @@ always maps to the same routes (and therefore the same objective vector).
 
 Route computation uses ``scipy.sparse.csgraph`` for the all-pairs search and
 is cached per design by the objective evaluator.
+
+Batch path tables
+-----------------
+Besides the per-pair query API, :class:`RoutingTables` exposes sparse batch
+structures used by the vectorized objective engine in :mod:`repro.objectives`.
+They are reconstructed lazily, in a single vectorized sweep over the
+predecessor matrix (one iteration per path-length step, all pairs at once),
+instead of walking predecessors pair-by-pair:
+
+* :meth:`pair_link_incidence` — CSR matrix ``P`` of shape
+  ``(num_tiles**2, num_links)``; ``P[p, k] = 1`` iff the route of the ordered
+  tile pair ``p = src * num_tiles + dst`` traverses link ``k``.  Link
+  utilisation for a pair-frequency vector ``f`` is then ``P.T @ f``.
+* :meth:`pair_tile_incidence` — CSR matrix ``R`` of shape
+  ``(num_tiles**2, num_tiles)``; ``R[p, t] = 1`` iff tile (router) ``t`` lies
+  on the route of pair ``p``, endpoints included (a self pair visits only its
+  own tile).  Router-energy sums are ``R @ ports``.
+* :meth:`pair_hops` / :meth:`pair_lengths` — dense per-pair hop counts
+  ``h_ij`` and physical route lengths ``d_ij``.
+* :meth:`reachable_pairs` — boolean per-pair reachability in the same flat
+  ``src * num_tiles + dst`` order.
+
+Minimal routes are simple paths, so every incidence entry is 0/1 and
+``pair_hops`` equals the per-row sums of ``P``.
 """
 
 from __future__ import annotations
@@ -18,7 +42,7 @@ from scipy.sparse.csgraph import shortest_path
 
 from repro.noc.design import NocDesign
 from repro.noc.geometry import Grid3D
-from repro.noc.links import link_length
+from repro.noc.links import link_lengths_array
 
 
 class RoutingTables:
@@ -44,21 +68,20 @@ class RoutingTables:
         self.design = design
         self.grid = grid
         self.num_tiles = design.num_tiles
+        num_links = design.num_links
+        ends_a = np.fromiter((link.a for link in design.links), dtype=np.int64, count=num_links)
+        ends_b = np.fromiter((link.b for link in design.links), dtype=np.int64, count=num_links)
         self.link_index: dict[tuple[int, int], int] = {}
-        lengths = []
-        rows, cols, data = [], [], []
-        for idx, link in enumerate(design.links):
-            length = link_length(link, grid)
-            lengths.append(length)
-            self.link_index[(link.a, link.b)] = idx
-            self.link_index[(link.b, link.a)] = idx
-            weight = 1.0 + self._LENGTH_EPSILON * length
-            rows.extend((link.a, link.b))
-            cols.extend((link.b, link.a))
-            data.extend((weight, weight))
-        self.link_lengths = np.asarray(lengths, dtype=np.float64)
+        for idx, (a, b) in enumerate(zip(ends_a.tolist(), ends_b.tolist())):
+            self.link_index[(a, b)] = idx
+            self.link_index[(b, a)] = idx
+        self.link_lengths = link_lengths_array(design.links, grid)
+        weights = 1.0 + self._LENGTH_EPSILON * self.link_lengths
         graph = csr_matrix(
-            (np.asarray(data), (np.asarray(rows), np.asarray(cols))),
+            (
+                np.concatenate((weights, weights)),
+                (np.concatenate((ends_a, ends_b)), np.concatenate((ends_b, ends_a))),
+            ),
             shape=(self.num_tiles, self.num_tiles),
         )
         dist, predecessors = shortest_path(
@@ -67,6 +90,12 @@ class RoutingTables:
         self._distance = dist
         self._predecessors = predecessors
         self._path_cache: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
+        # Lazily built batch structures (see _build_pair_tables).
+        self._pair_links: csr_matrix | None = None
+        self._pair_tiles: csr_matrix | None = None
+        self._pair_hops: np.ndarray | None = None
+        self._pair_lengths: np.ndarray | None = None
+        self._reachable: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -76,13 +105,32 @@ class RoutingTables:
         return np.isfinite(self._distance[src, dst])
 
     def hops(self, src: int, dst: int) -> int:
-        """Number of links traversed on the route (``h_ij``)."""
+        """Number of links traversed on the route (``h_ij``).
+
+        Answers from the batch tables when they are already built; a single
+        query on a fresh instance uses the cheap cached predecessor walk
+        instead of triggering the whole-network sweep.
+        """
         if src == dst:
             return 0
+        if self._pair_hops is not None:
+            if not self.is_reachable(src, dst):
+                raise ValueError(
+                    f"no route from tile {src} to tile {dst}: network is disconnected"
+                )
+            return int(self._pair_hops[src * self.num_tiles + dst])
         return len(self.path_links(src, dst))
 
     def path_length(self, src: int, dst: int) -> float:
         """Total physical length of the route (``d_ij``), in tile units."""
+        if src == dst:
+            return 0.0
+        if self._pair_lengths is not None:
+            if not self.is_reachable(src, dst):
+                raise ValueError(
+                    f"no route from tile {src} to tile {dst}: network is disconnected"
+                )
+            return float(self._pair_lengths[src * self.num_tiles + dst])
         links = self.path_links(src, dst)
         return float(self.link_lengths[links].sum()) if links else 0.0
 
@@ -93,6 +141,102 @@ class RoutingTables:
     def path_links(self, src: int, dst: int) -> list[int]:
         """The ordered link indices traversed by the route."""
         return self._path(src, dst)[1]
+
+    # ------------------------------------------------------------------ #
+    # Batch structures (vectorized objective engine)
+    # ------------------------------------------------------------------ #
+    def pair_index(self, src: int, dst: int) -> int:
+        """Flat index of the ordered tile pair ``(src, dst)`` in the batch tables."""
+        return src * self.num_tiles + dst
+
+    def pair_link_incidence(self) -> csr_matrix:
+        """Sparse 0/1 path-link incidence ``P`` of shape ``(num_tiles**2, num_links)``."""
+        if self._pair_links is None:
+            self._build_pair_tables()
+        return self._pair_links
+
+    def pair_tile_incidence(self) -> csr_matrix:
+        """Sparse 0/1 path-router incidence ``R`` of shape ``(num_tiles**2, num_tiles)``."""
+        if self._pair_tiles is None:
+            self._build_pair_tables()
+        return self._pair_tiles
+
+    def pair_hops(self) -> np.ndarray:
+        """Per-pair hop counts ``h_ij`` (0 for self pairs and unreachable pairs)."""
+        if self._pair_hops is None:
+            self._build_pair_tables()
+        return self._pair_hops
+
+    def pair_lengths(self) -> np.ndarray:
+        """Per-pair physical route lengths ``d_ij`` (0 where no route exists)."""
+        if self._pair_lengths is None:
+            self._build_pair_tables()
+        return self._pair_lengths
+
+    def reachable_pairs(self) -> np.ndarray:
+        """Boolean per-pair reachability, flattened in ``src * num_tiles + dst`` order."""
+        if self._reachable is None:
+            self._reachable = np.isfinite(self._distance).ravel()
+            self._reachable.setflags(write=False)
+        return self._reachable
+
+    def reachable_matrix(self) -> np.ndarray:
+        """Boolean tile-to-tile reachability matrix."""
+        return self.reachable_pairs().reshape(self.num_tiles, self.num_tiles)
+
+    def _build_pair_tables(self) -> None:
+        """Reconstruct every route at once from the predecessor matrix.
+
+        Walks all destination-to-source chains simultaneously: iteration ``s``
+        advances every still-active pair one predecessor step, emitting the
+        traversed ``(prev, cur)`` edge and the visited router.  The loop runs
+        ``max_ij h_ij`` times (the network diameter), with all per-pair work
+        vectorized.
+        """
+        num_tiles = self.num_tiles
+        num_links = self.design.num_links
+        num_pairs = num_tiles * num_tiles
+        # Dense edge -> link-index lookup (num_tiles is at most a few dozen).
+        edge_link = np.full((num_tiles, num_tiles), -1, dtype=np.int64)
+        for (a, b), idx in self.link_index.items():
+            edge_link[a, b] = idx
+        src = np.repeat(np.arange(num_tiles), num_tiles)
+        dst = np.tile(np.arange(num_tiles), num_tiles)
+        reachable = np.isfinite(self._distance).ravel()
+
+        tile_rows = [np.nonzero(reachable)[0]]
+        tile_cols = [dst[reachable]]
+        link_rows: list[np.ndarray] = []
+        link_cols: list[np.ndarray] = []
+        cur = dst.copy()
+        active = np.nonzero(reachable & (src != dst))[0]
+        while active.size:
+            prev = self._predecessors[src[active], cur[active]].astype(np.int64)
+            link_rows.append(active)
+            link_cols.append(edge_link[prev, cur[active]])
+            tile_rows.append(active)
+            tile_cols.append(prev)
+            cur[active] = prev
+            active = active[prev != src[active]]
+
+        link_row = np.concatenate(link_rows) if link_rows else np.empty(0, dtype=np.int64)
+        link_col = np.concatenate(link_cols) if link_cols else np.empty(0, dtype=np.int64)
+        self._pair_links = csr_matrix(
+            (np.ones(link_row.size, dtype=np.float64), (link_row, link_col)),
+            shape=(num_pairs, num_links),
+        )
+        tile_row = np.concatenate(tile_rows)
+        tile_col = np.concatenate(tile_cols)
+        self._pair_tiles = csr_matrix(
+            (np.ones(tile_row.size, dtype=np.float64), (tile_row, tile_col)),
+            shape=(num_pairs, num_tiles),
+        )
+        hops = np.zeros(num_pairs, dtype=np.int64)
+        np.add.at(hops, link_row, 1)
+        self._pair_hops = hops
+        self._pair_lengths = self._pair_links @ self.link_lengths
+        self._pair_hops.setflags(write=False)
+        self._pair_lengths.setflags(write=False)
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -1,4 +1,18 @@
-"""Cost models for the five design objectives of Section III."""
+"""Cost models for the five design objectives of Section III.
+
+The public objective functions (:func:`link_utilizations`,
+:func:`cpu_llc_latency`, :func:`communication_energy`, and the thermal model)
+are vectorized: they compute from sparse path-link / path-router incidence
+matrices exposed by :class:`repro.noc.routing.RoutingTables` and the
+workload's tile-pair frequency vector, instead of per-pair Python loops.
+Every vectorized function keeps a ``*_reference`` scalar twin with the
+original loop, used by equivalence tests and benchmarks.
+
+:class:`ObjectiveEvaluator` adds LRU caching on top and exposes the batch
+entry point ``evaluate_many(designs, parallel=...)`` — cache-aware
+partitioning into hits/duplicates/misses, with optional process-pool
+evaluation of the misses behind the ``parallel=`` flag.
+"""
 
 from repro.objectives.evaluator import (
     OBJECTIVE_NAMES,
@@ -6,10 +20,15 @@ from repro.objectives.evaluator import (
     ObjectiveScenario,
     scenario_for,
 )
-from repro.objectives.energy import communication_energy
-from repro.objectives.latency import cpu_llc_latency
+from repro.objectives.energy import communication_energy, communication_energy_reference
+from repro.objectives.latency import cpu_llc_latency, cpu_llc_latency_reference
 from repro.objectives.thermal import ThermalModel, thermal_objective
-from repro.objectives.traffic import link_utilizations, traffic_mean, traffic_variance
+from repro.objectives.traffic import (
+    link_utilizations,
+    link_utilizations_reference,
+    traffic_mean,
+    traffic_variance,
+)
 
 __all__ = [
     "OBJECTIVE_NAMES",
@@ -17,8 +36,11 @@ __all__ = [
     "ObjectiveScenario",
     "ThermalModel",
     "communication_energy",
+    "communication_energy_reference",
     "cpu_llc_latency",
+    "cpu_llc_latency_reference",
     "link_utilizations",
+    "link_utilizations_reference",
     "scenario_for",
     "thermal_objective",
     "traffic_mean",

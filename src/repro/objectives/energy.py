@@ -4,6 +4,14 @@ Energy is the traffic-weighted sum of link traversal energy (proportional to
 the physical link length ``d_k`` times the per-flit link energy ``E_link``)
 and router traversal energy (per-port energy ``E_r`` times the port count
 ``P_k`` of every router on the route).
+
+:func:`communication_energy` is vectorized: per-pair link energy comes from
+the precomputed route-length vector (``P @ d``) and per-pair router energy
+from the path-router incidence product ``R @ ports``, both contracted with
+the tile-pair frequency vector in one dot product.  Same-tile pairs cost one
+local-router traversal, which the self-pair rows of ``R`` encode naturally.
+:func:`communication_energy_reference` keeps the original per-pair loop as
+the scalar reference.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ import numpy as np
 from repro.noc.design import NocDesign
 from repro.noc.platform import PlatformConfig
 from repro.noc.routing import RoutingTables
+from repro.objectives.traffic import require_routable
 from repro.workloads.workload import Workload
 
 
@@ -20,13 +29,36 @@ def communication_energy(
     design: NocDesign,
     workload: Workload,
     routing: RoutingTables | None = None,
+    frequencies: np.ndarray | None = None,
 ) -> float:
-    """Total NoC communication energy (Eq. 4), in picojoules per kilo-cycle."""
+    """Total NoC communication energy (Eq. 4), in picojoules per kilo-cycle.
+
+    ``frequencies`` optionally supplies the pre-computed tile-pair frequency
+    vector so the evaluator can share it with the traffic objective.
+    """
+    config: PlatformConfig = workload.config
+    if routing is None:
+        routing = RoutingTables(design, config.grid)
+    if frequencies is None:
+        frequencies = workload.pair_frequencies(design.placement_array())
+    require_routable(routing, frequencies)
+    # Port count of every router: attached links plus the local PE injection port.
+    ports = design.degrees().astype(np.float64) + 1.0
+    link_energy = config.link_energy_per_flit * routing.pair_lengths()
+    router_energy = config.router_energy_per_port * (routing.pair_tile_incidence() @ ports)
+    return float(frequencies @ (link_energy + router_energy))
+
+
+def communication_energy_reference(
+    design: NocDesign,
+    workload: Workload,
+    routing: RoutingTables | None = None,
+) -> float:
+    """Scalar per-pair reference implementation of :func:`communication_energy`."""
     config: PlatformConfig = workload.config
     if routing is None:
         routing = RoutingTables(design, config.grid)
     tile_of_pe = design.tile_of_pe()
-    # Port count of every router: attached links plus the local PE injection port.
     ports = design.degrees().astype(np.float64) + 1.0
     link_lengths = design.link_lengths(config.grid)
     e_link = config.link_energy_per_flit

@@ -7,21 +7,44 @@ and ``5-obj`` adds the thermal objective.  All objectives are minimised.
 Routing tables are computed once per design and shared by all objectives; the
 evaluator memoises complete objective vectors per design (LRU-bounded) and
 counts evaluations so experiments can report search effort.
+
+Batch evaluation engine
+-----------------------
+:meth:`ObjectiveEvaluator.evaluate_many` is the population-scale hot path of
+the optimisers.  It keys every design exactly once, partitions the batch into
+cache hits, in-batch duplicates and genuine misses, and computes only the
+unique misses — serially by default, or on a ``concurrent.futures`` process
+pool when called with ``parallel=True`` (worker processes are primed once
+with the workload/scenario via the pool initializer; only designs travel per
+task).  Each per-design computation itself runs on the vectorized objective
+implementations (sparse incidence-matrix products, see
+:mod:`repro.noc.routing`), so a batch evaluation performs no per-pair Python
+loops at all.
+
+Cached vectors are returned as read-only views (``ndarray.setflags(write=False)``)
+instead of per-hit copies; callers that need to mutate a result must copy it
+explicitly.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.noc.design import NocDesign
 from repro.noc.routing import RoutingTables
-from repro.objectives.energy import communication_energy
-from repro.objectives.latency import cpu_llc_latency
+from repro.objectives.energy import communication_energy, communication_energy_reference
+from repro.objectives.latency import cpu_llc_latency, cpu_llc_latency_reference
 from repro.objectives.thermal import ThermalModel
-from repro.objectives.traffic import link_utilizations, traffic_mean, traffic_variance
+from repro.objectives.traffic import (
+    link_utilizations,
+    link_utilizations_reference,
+    traffic_mean,
+    traffic_variance,
+)
 from repro.workloads.workload import Workload
 
 #: Canonical objective order used by every scenario.
@@ -71,6 +94,22 @@ def scenario_for(num_objectives: int) -> ObjectiveScenario:
     return _SCENARIOS[num_objectives]
 
 
+# --------------------------------------------------------------------- #
+# Process-pool plumbing: workers are primed once per pool with the
+# workload/scenario so only designs are pickled per task.
+# --------------------------------------------------------------------- #
+_WORKER_EVALUATOR: "ObjectiveEvaluator | None" = None
+
+
+def _init_worker(workload: Workload, scenario: "ObjectiveScenario") -> None:
+    global _WORKER_EVALUATOR
+    _WORKER_EVALUATOR = ObjectiveEvaluator(workload, scenario, cache_size=0)
+
+
+def _compute_in_worker(design: NocDesign) -> np.ndarray:
+    return _WORKER_EVALUATOR._compute(design)
+
+
 class ObjectiveEvaluator:
     """Evaluates designs against a scenario's objectives with caching.
 
@@ -96,6 +135,8 @@ class ObjectiveEvaluator:
         self.thermal_model = ThermalModel(self.config)
         self.cache_size = int(cache_size)
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_workers: int | None = None
         self.evaluations = 0
         self.cache_hits = 0
 
@@ -113,33 +154,144 @@ class ObjectiveEvaluator:
         return self.scenario.objectives
 
     def evaluate(self, design: NocDesign) -> np.ndarray:
-        """Return the objective vector of a design (all objectives minimised)."""
+        """Return the objective vector of a design (all objectives minimised).
+
+        With caching enabled the returned array is a read-only view of the
+        cached vector; copy it before mutating.  With ``cache_size=0`` the
+        array is caller-owned and writable.
+        """
         key = design.key()
         if self.cache_size > 0 and key in self._cache:
             self.cache_hits += 1
             self._cache.move_to_end(key)
-            return self._cache[key].copy()
+            return self._cache[key]
         values = self._compute(design)
         self.evaluations += 1
         if self.cache_size > 0:
+            values.setflags(write=False)
             self._cache[key] = values
             if len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
-        return values.copy()
+        return values
 
-    def evaluate_many(self, designs: list[NocDesign]) -> np.ndarray:
-        """Evaluate several designs, returning a ``len(designs) x M`` matrix."""
-        return np.array([self.evaluate(d) for d in designs], dtype=np.float64)
+    def evaluate_many(
+        self,
+        designs: list[NocDesign],
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> np.ndarray:
+        """Evaluate several designs, returning a ``len(designs) x M`` matrix.
+
+        Designs are keyed exactly once; the batch is partitioned into cache
+        hits, in-batch duplicates and unique misses, and only the misses are
+        computed.  With ``parallel=True`` misses are evaluated on a process
+        pool (``max_workers`` processes); the default serial path avoids any
+        pool overhead and is the right choice for small batches.
+        """
+        num = len(designs)
+        out = np.empty((num, self.num_objectives), dtype=np.float64)
+        pending_rows: OrderedDict[tuple, list[int]] = OrderedDict()
+        pending_designs: dict[tuple, NocDesign] = {}
+        for row, design in enumerate(designs):
+            key = design.key()
+            if self.cache_size > 0 and key in self._cache:
+                self.cache_hits += 1
+                self._cache.move_to_end(key)
+                out[row] = self._cache[key]
+            elif key in pending_rows:
+                # In-batch duplicate: re-uses the single computation below.
+                pending_rows[key].append(row)
+            else:
+                pending_rows[key] = [row]
+                pending_designs[key] = design
+        if pending_rows:
+            misses = [pending_designs[key] for key in pending_rows]
+            if parallel and len(misses) > 1:
+                computed = list(self._worker_pool(max_workers).map(_compute_in_worker, misses))
+            else:
+                computed = [self._compute(design) for design in misses]
+            for key, values in zip(pending_rows, computed):
+                values = np.asarray(values, dtype=np.float64)
+                rows = pending_rows[key]
+                out[rows] = values
+                # Counters mirror the scalar loop: with caching on, a
+                # duplicate would have hit the cache (1 evaluation + hits);
+                # with caching off, the scalar loop recomputes every copy.
+                if self.cache_size > 0:
+                    self.evaluations += 1
+                    self.cache_hits += len(rows) - 1
+                    values.setflags(write=False)
+                    self._cache[key] = values
+                    if len(self._cache) > self.cache_size:
+                        self._cache.popitem(last=False)
+                else:
+                    self.evaluations += len(rows)
+        return out
+
+    def _worker_pool(self, max_workers: int | None) -> ProcessPoolExecutor:
+        """Lazily created, persistent process pool for parallel batches.
+
+        The pool (and the workload/scenario priming of its workers) is reused
+        across ``evaluate_many`` calls; it is only rebuilt when a different
+        ``max_workers`` is requested.  Call :meth:`shutdown` to release the
+        worker processes early.
+        """
+        if self._pool is None or (
+            max_workers is not None and max_workers != self._pool_workers
+        ):
+            self.shutdown()
+            self._pool = ProcessPoolExecutor(
+                max_workers=max_workers,
+                initializer=_init_worker,
+                initargs=(self.workload, self.scenario),
+            )
+            self._pool_workers = max_workers
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Release the parallel worker pool, if one was started."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+            self._pool_workers = None
+
+    def __del__(self):  # pragma: no cover - interpreter-shutdown best effort
+        try:
+            self.shutdown()
+        except Exception:
+            pass
+
+    def evaluate_reference(self, design: NocDesign) -> np.ndarray:
+        """Objective vector computed by the scalar per-pair reference path.
+
+        Bypasses the cache and the vectorized engine; used by equivalence
+        tests and as the baseline of the batch-evaluation benchmark.
+        """
+        routing = RoutingTables(design, self.config.grid)
+        needed = set(self.scenario.objectives)
+        values: dict[str, float] = {}
+        if needed & {"traffic_mean", "traffic_variance"}:
+            utilization = link_utilizations_reference(design, self.workload, routing)
+            values["traffic_mean"] = traffic_mean(utilization)
+            values["traffic_variance"] = traffic_variance(utilization)
+        if "cpu_llc_latency" in needed:
+            values["cpu_llc_latency"] = cpu_llc_latency_reference(design, self.workload, routing)
+        if "energy" in needed:
+            values["energy"] = communication_energy_reference(design, self.workload, routing)
+        if "thermal" in needed:
+            values["thermal"] = self.thermal_model.objective_reference(design, self.workload)
+        return np.array([values[name] for name in self.scenario.objectives], dtype=np.float64)
 
     def full_report(self, design: NocDesign) -> dict[str, float]:
         """All five objective values for a design, regardless of scenario."""
         routing = RoutingTables(design, self.config.grid)
-        utilization = link_utilizations(design, self.workload, routing)
+        frequencies = self.workload.pair_frequencies(design.placement_array())
+        utilization = link_utilizations(design, self.workload, routing, frequencies)
         return {
             "traffic_mean": traffic_mean(utilization),
             "traffic_variance": traffic_variance(utilization),
             "cpu_llc_latency": cpu_llc_latency(design, self.workload, routing),
-            "energy": communication_energy(design, self.workload, routing),
+            "energy": communication_energy(design, self.workload, routing, frequencies),
             "thermal": self.thermal_model.objective(design, self.workload),
             "peak_temperature": self.thermal_model.peak_temperature(design, self.workload),
         }
@@ -149,16 +301,18 @@ class ObjectiveEvaluator:
     # ------------------------------------------------------------------ #
     def _compute(self, design: NocDesign) -> np.ndarray:
         routing = RoutingTables(design, self.config.grid)
+        # One pair-frequency gather shared by every objective that needs it.
+        frequencies = self.workload.pair_frequencies(design.placement_array())
         needed = set(self.scenario.objectives)
         values: dict[str, float] = {}
         if needed & {"traffic_mean", "traffic_variance"}:
-            utilization = link_utilizations(design, self.workload, routing)
+            utilization = link_utilizations(design, self.workload, routing, frequencies)
             values["traffic_mean"] = traffic_mean(utilization)
             values["traffic_variance"] = traffic_variance(utilization)
         if "cpu_llc_latency" in needed:
             values["cpu_llc_latency"] = cpu_llc_latency(design, self.workload, routing)
         if "energy" in needed:
-            values["energy"] = communication_energy(design, self.workload, routing)
+            values["energy"] = communication_energy(design, self.workload, routing, frequencies)
         if "thermal" in needed:
             values["thermal"] = self.thermal_model.objective(design, self.workload)
         return np.array([values[name] for name in self.scenario.objectives], dtype=np.float64)

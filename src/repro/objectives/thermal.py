@@ -16,6 +16,7 @@ combines vertical and horizontal effects as ``T = max_{n,k} T_{n,k} * max_k dT(k
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -53,11 +54,40 @@ class ThermalModel:
             return np.asarray(self.layer_resistances, dtype=np.float64)
         return np.full(self.config.layers, self.config.vertical_resistance, dtype=np.float64)
 
+    @cached_property
+    def _tile_columns_and_layers(self) -> tuple[np.ndarray, np.ndarray]:
+        """Column and layer index of every tile (vectorized grid decode)."""
+        grid = self.config.grid
+        x, y, z = grid.coords_arrays(np.arange(self.config.num_tiles, dtype=np.int64))
+        return y * grid.n + x, z
+
     # ------------------------------------------------------------------ #
     # Temperature fields
     # ------------------------------------------------------------------ #
     def column_powers(self, design: NocDesign, workload: Workload) -> np.ndarray:
         """Per-column per-layer power matrix ``P[n, k]`` (column x layer-from-sink)."""
+        tile_power = workload.tile_power(design.placement_array())
+        powers = np.zeros((self.config.grid.num_columns, self.config.layers), dtype=np.float64)
+        columns, layers = self._tile_columns_and_layers
+        powers[columns, layers] = tile_power
+        return powers
+
+    def temperatures(self, design: NocDesign, workload: Workload) -> np.ndarray:
+        """Temperature rise ``T[n, k]`` of every tile (column x layer-from-sink), Eq. 5.
+
+        Vectorized over both columns and layers: the layer-k temperature is a
+        prefix sum over source layers ``i <= k`` of ``P[:, i] * sum_{j<=i} R_j``
+        plus the base-resistance term, so both reduce to ``cumsum`` along the
+        layer axis.
+        """
+        powers = self.column_powers(design, workload)
+        cumulative_resistance = np.cumsum(self.resistances)
+        return np.cumsum(powers * cumulative_resistance[None, :], axis=1) + (
+            self.config.base_resistance * np.cumsum(powers, axis=1)
+        )
+
+    def column_powers_reference(self, design: NocDesign, workload: Workload) -> np.ndarray:
+        """Scalar per-tile reference implementation of :meth:`column_powers`."""
         config = self.config
         grid = config.grid
         tile_power = workload.tile_power(design.placement_array())
@@ -68,11 +98,10 @@ class ThermalModel:
             powers[column, layer] = tile_power[tile_id]
         return powers
 
-    def temperatures(self, design: NocDesign, workload: Workload) -> np.ndarray:
-        """Temperature rise ``T[n, k]`` of every tile (column x layer-from-sink), Eq. 5."""
-        powers = self.column_powers(design, workload)
-        resistances = self.resistances
-        cumulative_resistance = np.cumsum(resistances)
+    def temperatures_reference(self, design: NocDesign, workload: Workload) -> np.ndarray:
+        """Per-layer-loop reference implementation of :meth:`temperatures`."""
+        powers = self.column_powers_reference(design, workload)
+        cumulative_resistance = np.cumsum(self.resistances)
         num_columns, layers = powers.shape
         temperatures = np.zeros_like(powers)
         for k in range(layers):
@@ -94,6 +123,13 @@ class ThermalModel:
     def objective(self, design: NocDesign, workload: Workload) -> float:
         """Combined thermal objective ``T`` (Eq. 7)."""
         temperatures = self.temperatures(design, workload)
+        peak = float(temperatures.max())
+        spread = float(self.layer_spread(temperatures).max())
+        return peak * spread
+
+    def objective_reference(self, design: NocDesign, workload: Workload) -> float:
+        """Eq. 7 computed through the scalar reference temperature field."""
+        temperatures = self.temperatures_reference(design, workload)
         peak = float(temperatures.max())
         spread = float(self.layer_spread(temperatures).max())
         return peak * spread

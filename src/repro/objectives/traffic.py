@@ -4,6 +4,13 @@ The utilisation of link ``k`` is ``u_k = sum_ij f_ij * p_ijk`` where ``p_ijk``
 indicates whether the route from PE ``i`` to PE ``j`` traverses link ``k``.
 Objective 1 minimises the mean of ``u`` over all links; objective 2 minimises
 its variance (reducing hotspots improves GPU throughput).
+
+:func:`link_utilizations` is vectorized: it computes ``u = P.T @ f`` from the
+sparse path-link incidence matrix ``P`` of
+:meth:`~repro.noc.routing.RoutingTables.pair_link_incidence` and the design's
+tile-pair frequency vector ``f`` (:meth:`~repro.workloads.workload.Workload.pair_frequencies`).
+:func:`link_utilizations_reference` keeps the original per-pair Python loop as
+the scalar reference implementation for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
@@ -15,10 +22,27 @@ from repro.noc.routing import RoutingTables
 from repro.workloads.workload import Workload
 
 
+def require_routable(routing: RoutingTables, pair_frequencies: np.ndarray) -> None:
+    """Raise ``ValueError`` when any communicating tile pair has no route.
+
+    Mirrors the error the scalar per-pair walk raises when it hits an
+    unreachable pair, so the vectorized and reference paths fail identically
+    on disconnected networks.
+    """
+    bad = (pair_frequencies > 0.0) & ~routing.reachable_pairs()
+    if np.any(bad):
+        pair = int(np.argmax(bad))
+        src, dst = divmod(pair, routing.num_tiles)
+        raise ValueError(f"no route from tile {src} to tile {dst}: network is disconnected")
+
+
 def link_utilizations(
-    design: NocDesign, workload: Workload, routing: RoutingTables | None = None
+    design: NocDesign,
+    workload: Workload,
+    routing: RoutingTables | None = None,
+    frequencies: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Per-link utilisation ``u_k`` for a design under a workload.
+    """Per-link utilisation ``u_k`` for a design under a workload (vectorized).
 
     Parameters
     ----------
@@ -29,7 +53,23 @@ def link_utilizations(
     routing:
         Optional pre-computed routing tables (avoids recomputation when several
         objectives share them).
+    frequencies:
+        Optional pre-computed tile-pair frequency vector
+        (:meth:`~repro.workloads.workload.Workload.pair_frequencies` of this
+        design's placement), shared between objectives by the evaluator.
     """
+    if routing is None:
+        routing = RoutingTables(design, workload.config.grid)
+    if frequencies is None:
+        frequencies = workload.pair_frequencies(design.placement_array())
+    require_routable(routing, frequencies)
+    return routing.pair_link_incidence().T @ frequencies
+
+
+def link_utilizations_reference(
+    design: NocDesign, workload: Workload, routing: RoutingTables | None = None
+) -> np.ndarray:
+    """Scalar per-pair reference implementation of :func:`link_utilizations`."""
     if routing is None:
         routing = RoutingTables(design, workload.config.grid)
     tile_of_pe = design.tile_of_pe()

@@ -103,6 +103,21 @@ class Workload:
         """Per-tile power for a given placement array (tile -> PE)."""
         return self.power[np.asarray(placement, dtype=np.int64)]
 
+    def tile_traffic(self, placement: np.ndarray) -> np.ndarray:
+        """Tile-to-tile frequency matrix ``F[s, t] = f_{placement[s], placement[t]}``.
+
+        Flattened row-major, this is the pair-frequency vector consumed by the
+        vectorized objective engine: its order matches the flat
+        ``src * num_tiles + dst`` pair indexing of
+        :meth:`repro.noc.routing.RoutingTables.pair_link_incidence`.
+        """
+        placement = np.asarray(placement, dtype=np.int64)
+        return self.traffic[np.ix_(placement, placement)]
+
+    def pair_frequencies(self, placement: np.ndarray) -> np.ndarray:
+        """Flat per-tile-pair frequency vector (length ``num_tiles**2``)."""
+        return self.tile_traffic(placement).ravel()
+
     def scaled(self, factor: float) -> "Workload":
         """Return a copy with traffic uniformly scaled by ``factor``."""
         if factor <= 0:

@@ -86,6 +86,20 @@ class TestMOELAOnToyProblem:
         optimizer = MOELA(GridAnchorProblem(2))
         assert optimizer.config.population_size == MOELAConfig().population_size
 
+    def test_feature_cache_evicts_lru_not_everything(self):
+        problem = GridAnchorProblem(2)
+        optimizer = MOELA(problem, _smoke_config(), rng=0)
+        cap = 4 * optimizer.config.population_size
+        hot = (0, 0)
+        hot_features = optimizer._features(hot)
+        # Flood the cache past its bound while keeping the hot entry live.
+        for x in range(cap + 10):
+            optimizer._features((x % (problem.size + 1), x // (problem.size + 1)))
+            optimizer._features(hot)
+        assert len(optimizer._feature_cache) <= cap
+        # The recently-touched entry survived the overflow (no wholesale flush).
+        assert optimizer._features(hot) is hot_features
+
 
 class TestMOELAOnNocProblem:
     def test_short_run_on_tiny_platform(self, tiny_problem):

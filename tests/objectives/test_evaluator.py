@@ -70,16 +70,57 @@ class TestEvaluator:
         evaluator.evaluate(tiny_designs[0])
         assert evaluator.evaluations == 2
 
-    def test_cache_returns_copies(self, tiny_workload, tiny_designs):
+    def test_results_are_readonly_views_protecting_the_cache(self, tiny_workload, tiny_designs):
         evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
         first = evaluator.evaluate(tiny_designs[0])
-        first[0] = -1.0
+        with pytest.raises(ValueError):
+            first[0] = -1.0
+        assert evaluator.evaluate(tiny_designs[0])[0] >= 0
+        # Callers that need a mutable vector copy explicitly.
+        mutable = first.copy()
+        mutable[0] = -1.0
         assert evaluator.evaluate(tiny_designs[0])[0] >= 0
 
     def test_evaluate_many_shape(self, tiny_workload, tiny_designs):
         evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_4OBJ)
         matrix = evaluator.evaluate_many(list(tiny_designs))
         assert matrix.shape == (len(tiny_designs), 4)
+
+    def test_evaluate_many_partitions_hits_and_misses(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
+        warm = evaluator.evaluate(tiny_designs[0])
+        batch = evaluator.evaluate_many([tiny_designs[0], tiny_designs[1], tiny_designs[1]])
+        # One pre-warmed hit, one computed miss reused for its duplicate.
+        assert evaluator.evaluations == 2
+        assert evaluator.cache_hits == 2
+        assert np.array_equal(batch[0], warm)
+        assert np.array_equal(batch[1], batch[2])
+
+    def test_evaluate_many_returns_writable_matrix(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
+        matrix = evaluator.evaluate_many(list(tiny_designs[:2]))
+        matrix[0, 0] = -1.0  # callers own the batch matrix
+        assert evaluator.evaluate(tiny_designs[0])[0] >= 0
+
+    def test_evaluate_many_empty_batch(self, tiny_workload):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_5OBJ)
+        assert evaluator.evaluate_many([]).shape == (0, 5)
+
+    def test_evaluate_many_uncached_counts_match_scalar_loop(self, tiny_workload, tiny_designs):
+        # With caching disabled the scalar loop recomputes duplicates, so the
+        # batch path must report the same evaluation count (even though it
+        # computes the duplicate only once).
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ, cache_size=0)
+        evaluator.evaluate_many([tiny_designs[0], tiny_designs[0], tiny_designs[1]])
+        assert evaluator.evaluations == 3
+        assert evaluator.cache_hits == 0
+
+    def test_reference_path_bypasses_cache(self, tiny_workload, tiny_designs):
+        evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_5OBJ)
+        fast = evaluator.evaluate(tiny_designs[0])
+        reference = evaluator.evaluate_reference(tiny_designs[0])
+        assert evaluator.evaluations == 1
+        np.testing.assert_allclose(fast, reference, rtol=1e-12)
 
     def test_full_report_contains_all_objectives(self, tiny_workload, tiny_designs):
         evaluator = ObjectiveEvaluator(tiny_workload, SCENARIO_3OBJ)
