@@ -93,6 +93,87 @@ def test_batch_evaluation_speedup_and_equivalence():
     assert speedup >= 3.0, f"batch evaluation only {speedup:.2f}x faster than scalar loop"
 
 
+@pytest.mark.perf
+def test_batched_nsga2_brood_scoring_speedup_and_equivalence():
+    """Batched NSGA-II offspring scoring is >= 3x faster than the looped scalar path.
+
+    Mates one 32-design offspring brood exactly as the batched
+    :meth:`NSGA2.step` does, then scores it once through ``evaluate_many``
+    and once through the looped scalar-reference evaluation the pre-batch
+    implementation used per child.  Marked ``perf`` (structural deselect with
+    ``-m "not perf"``) because shared CI runners are too noisy for wall-clock
+    thresholds — same pattern as the batch-engine test above.
+    """
+    import time
+
+    from repro.core.problem import NocDesignProblem
+    from repro.moo.nsga2 import NSGA2
+
+    problem = NocDesignProblem(WORKLOAD, scenario=5, cache_size=0)
+    optimizer = NSGA2(problem, population_size=32, rng=11)
+    optimizer.initialize()
+    brood = [optimizer._mate_one() for _ in range(optimizer.population_size)]
+
+    evaluator = problem.evaluator
+    evaluator.evaluate_many(brood[:2])  # warm-up
+    evaluator.evaluate_reference(brood[0])
+
+    start = time.perf_counter()
+    batch = evaluator.evaluate_many(brood)
+    batch_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    scalar = np.array([evaluator.evaluate_reference(design) for design in brood])
+    scalar_seconds = time.perf_counter() - start
+
+    np.testing.assert_allclose(batch, scalar, rtol=1e-12)
+    speedup = scalar_seconds / batch_seconds
+    print(f"brood batch {batch_seconds * 1e3:.1f} ms vs scalar {scalar_seconds * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x")
+    assert speedup >= 3.0, f"batched brood scoring only {speedup:.2f}x faster than scalar loop"
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_two_cell_grid(benchmark, tmp_path):
+    """End-to-end 2-cell sharded campaign (manifest + shards + resume check)."""
+    from dataclasses import replace
+
+    from repro.experiments.config import CampaignConfig, ExperimentConfig
+    from repro.experiments.runner import campaign_status, run_campaign
+
+    campaign = CampaignConfig(
+        experiment=ExperimentConfig.smoke(),
+        algorithms=("MOEA/D", "NSGA-II"),
+        max_evaluations=40,
+        resume=False,
+    )
+    runs = {"i": 0}
+
+    def run_once():
+        runs["i"] += 1
+        return run_campaign(campaign, tmp_path / str(runs["i"]))
+
+    summary = benchmark(run_once)
+    assert len(summary.executed) == 2
+    assert all(campaign_status(summary.output_dir).values())
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_campaign_resume_scan(benchmark, tmp_path):
+    """Resuming a fully completed campaign is a cheap manifest/shard scan."""
+    from repro.experiments.config import CampaignConfig, ExperimentConfig
+    from repro.experiments.runner import run_campaign
+
+    campaign = CampaignConfig(
+        experiment=ExperimentConfig.smoke(),
+        algorithms=("MOEA/D", "NSGA-II"),
+        max_evaluations=40,
+    )
+    run_campaign(campaign, tmp_path)
+    summary = benchmark(lambda: run_campaign(campaign, tmp_path))
+    assert not summary.executed and len(summary.skipped) == 2
+
+
 @pytest.mark.benchmark(group="components")
 def test_routing_table_construction(benchmark):
     """All-pairs deterministic routing for one design."""

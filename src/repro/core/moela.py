@@ -38,9 +38,20 @@ class MOELA(PopulationOptimizer):
 
     name = "MOELA"
 
-    def __init__(self, problem: Problem, config: MOELAConfig | None = None, rng=None):
+    def __init__(
+        self,
+        problem: Problem,
+        config: MOELAConfig | None = None,
+        rng=None,
+        batch_evaluation: bool = True,
+    ):
         config = config if config is not None else MOELAConfig()
-        super().__init__(problem, config.population_size, ensure_rng(rng if rng is not None else config.seed))
+        super().__init__(
+            problem,
+            config.population_size,
+            ensure_rng(rng if rng is not None else config.seed),
+            batch_evaluation=batch_evaluation,
+        )
         self.config = config
         self.weights = uniform_weights(problem.num_objectives, config.population_size, self.rng)
         self.neighbor_index = neighborhoods(
@@ -106,7 +117,7 @@ class MOELA(PopulationOptimizer):
             scale=self.objective_scale(),
             rng=self.rng,
             evaluate=self.evaluate,
-            evaluate_many=self.evaluate_batch,
+            evaluate_many=self.evaluate_batch if self.batch_evaluation else None,
             should_stop=stop,
             max_children=budget.remaining_evaluations(self.evaluations),
         )
@@ -130,7 +141,7 @@ class MOELA(PopulationOptimizer):
             scale=self.objective_scale(),
             rng=self.rng,
             evaluate=self.evaluate,
-            evaluate_many=self.evaluate_batch,
+            evaluate_many=self.evaluate_batch if self.batch_evaluation else None,
         )
         self.reference = np.minimum(self.reference, outcome.objectives)
         self._update_population(outcome.design, outcome.objectives, index)

@@ -1,6 +1,6 @@
 """Experiment harness reproducing the paper's evaluation (Tables I-II, Fig. 3)."""
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.experiments.metrics import (
     common_reference_point,
     edp_of_best_design,
@@ -8,7 +8,18 @@ from repro.experiments.metrics import (
     select_design_by_thermal_threshold,
     speedup_factor,
 )
-from repro.experiments.runner import compare_algorithms, make_problem, run_algorithm
+from repro.experiments.runner import (
+    CampaignCell,
+    CampaignSummary,
+    campaign_cells,
+    campaign_status,
+    compare_algorithms,
+    load_campaign_results,
+    load_manifest,
+    make_problem,
+    run_algorithm,
+    run_campaign,
+)
 from repro.experiments.tables import (
     build_figure3,
     build_table1,
@@ -18,8 +29,16 @@ from repro.experiments.tables import (
 )
 
 __all__ = [
+    "CampaignCell",
+    "CampaignConfig",
+    "CampaignSummary",
     "ExperimentConfig",
     "build_figure3",
+    "campaign_cells",
+    "campaign_status",
+    "load_campaign_results",
+    "load_manifest",
+    "run_campaign",
     "build_table1",
     "build_table2",
     "common_reference_point",

@@ -9,7 +9,7 @@ code paths; the full-scale settings remain available via
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import MOELAConfig
 from repro.noc.platform import PlatformConfig
@@ -99,4 +99,86 @@ class ExperimentConfig:
             local_search_steps=25,
             neighbors_per_step=4,
             seed=0,
+        )
+
+
+#: Platform size (in tiles) from which campaign cells switch the objective
+#: evaluator's batch path to process-pool workers.  The paper's 4x4x4 platform
+#: (64 tiles) is the motivating case: per-design routing is expensive enough
+#: there that parallel cache-miss evaluation pays for the pool overhead.
+PARALLEL_EVALUATION_MIN_TILES: int = 48
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Settings for one sharded (algorithm x application x scenario) campaign.
+
+    A campaign runs every cell of the grid defined by ``algorithms`` and the
+    experiment's ``applications`` / ``objective_counts``, each with its own
+    derived seed, and streams every cell's result to one JSON shard next to a
+    manifest (see :func:`repro.experiments.runner.run_campaign`).
+
+    Parameters
+    ----------
+    experiment:
+        The shared experiment settings (platform, applications, scenarios,
+        per-run budget, algorithm hyper-parameters).
+    algorithms:
+        Algorithm names to run; the empty tuple means every registered
+        algorithm (:data:`repro.experiments.runner.ALGORITHMS`).
+    max_workers:
+        Size of the process pool the grid cells are fanned out over; ``1``
+        runs cells inline in submission order.
+    resume:
+        When True, cells whose shard already exists and parses are skipped —
+        re-running a killed campaign only executes the missing cells.
+    parallel_evaluation:
+        Forces the objective evaluator's process-pool batch path on (True) or
+        off (False) inside each cell.  The default ``None`` auto-enables it
+        for ``paper_4x4x4``-class platforms (>=
+        :data:`PARALLEL_EVALUATION_MIN_TILES` tiles) when the campaign itself
+        is not already fanning cells out over processes — nesting pools would
+        oversubscribe the machine.
+    max_evaluations:
+        Per-cell evaluation budget override; ``None`` uses the experiment's
+        ``max_evaluations``.
+    """
+
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig.reduced)
+    algorithms: tuple[str, ...] = ()
+    max_workers: int = 1
+    resume: bool = True
+    parallel_evaluation: bool | None = None
+    max_evaluations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.max_evaluations is not None and self.max_evaluations < 1:
+            raise ValueError("max_evaluations must be >= 1")
+
+    def resolve_parallel_evaluation(self) -> bool:
+        """Whether cells should evaluate batches on a process pool."""
+        if self.parallel_evaluation is not None:
+            return self.parallel_evaluation
+        large_platform = self.experiment.platform.num_tiles >= PARALLEL_EVALUATION_MIN_TILES
+        return large_platform and self.max_workers == 1
+
+    @property
+    def cell_budget(self) -> int:
+        """Evaluation budget applied to every cell."""
+        return self.max_evaluations if self.max_evaluations is not None else self.experiment.max_evaluations
+
+    @classmethod
+    def smoke(cls) -> "CampaignConfig":
+        """Tiny 2-algorithm x 2-application campaign (4 cells, seconds to run).
+
+        This is the grid ``examples/run_campaign.py --smoke`` and the CI
+        campaign smoke job execute end to end.
+        """
+        return cls(
+            experiment=replace(ExperimentConfig.smoke(), applications=("BFS", "BP")),
+            algorithms=("MOEA/D", "NSGA-II"),
+            max_workers=1,
+            max_evaluations=60,
         )

@@ -1,23 +1,44 @@
-"""Runs the optimisers on (application, scenario) problem instances."""
+"""Runs the optimisers on (application, scenario) problem instances.
+
+Besides the single-run helpers (:func:`run_algorithm`,
+:func:`compare_algorithms`), this module hosts the campaign engine: the full
+(algorithm x application x scenario) grid fanned out over a process pool,
+each cell streaming its result to one JSON shard next to a manifest so a
+killed campaign resumes by running only the missing cells
+(:func:`run_campaign`).
+"""
 
 from __future__ import annotations
 
-from typing import Any
+import hashlib
+import json
+import re
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
 
 from repro.core.config import MOELAConfig
 from repro.core.moela import MOELA
 from repro.core.problem import NocDesignProblem
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.moo.moead import MOEAD
 from repro.moo.moo_stage import MOOStage
 from repro.moo.moos import MOOS
 from repro.moo.nsga2 import NSGA2
 from repro.moo.result import OptimizationResult
 from repro.moo.termination import Budget
+from repro.utils.serialization import load_result, result_to_dict, write_json_atomic
 from repro.workloads.registry import get_workload
 
 #: Algorithm names accepted by :func:`run_algorithm`.
 ALGORITHMS: tuple[str, ...] = ("MOELA", "MOEA/D", "MOOS", "MOO-STAGE", "NSGA-II")
+
+#: File name of the campaign manifest inside a campaign output directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Format tag written into every manifest (bump on incompatible changes).
+MANIFEST_FORMAT = "repro-campaign/1"
 
 
 def make_problem(
@@ -29,8 +50,17 @@ def make_problem(
 
 
 def _derived_seed(experiment: ExperimentConfig, algorithm: str, application: str, num_objectives: int) -> int:
-    code = sum((i + 1) * ord(c) for i, c in enumerate(f"{algorithm}|{application}|{num_objectives}"))
-    return (experiment.seed * 99_991 + code) & 0x7FFFFFFF
+    """Deterministic per-(algorithm, application, scenario) seed.
+
+    Derived by hashing the cell identity together with the base seed, so every
+    cell of a campaign grid gets a unique, reproducible stream (the previous
+    weighted character sum could collide between cells, which would correlate
+    searches that the paper's protocol treats as independent).
+    """
+    digest = hashlib.sha256(
+        f"{experiment.seed}|{algorithm}|{application}|{num_objectives}".encode()
+    ).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
 
 
 def run_algorithm(
@@ -110,3 +140,242 @@ def compare_algorithms(
     for algorithm in algorithms:
         results[algorithm] = run_algorithm(algorithm, problem, experiment, budget=budget)
     return results
+
+
+# ---------------------------------------------------------------------- #
+# Campaign engine
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignCell:
+    """One (algorithm, application, scenario) cell of a campaign grid."""
+
+    algorithm: str
+    application: str
+    num_objectives: int
+    seed: int
+
+    @property
+    def key(self) -> str:
+        """Filesystem-safe cell identifier, e.g. ``MOEA-D_BFS_3obj``."""
+        algorithm = re.sub(r"[^A-Za-z0-9.-]+", "-", self.algorithm)
+        return f"{algorithm}_{self.application}_{self.num_objectives}obj"
+
+    @property
+    def shard_name(self) -> str:
+        """File name of the cell's result shard."""
+        return f"cell_{self.key}.json"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON representation used in the manifest and shard headers."""
+        return {
+            "algorithm": self.algorithm,
+            "application": self.application,
+            "num_objectives": self.num_objectives,
+            "seed": self.seed,
+            "shard": self.shard_name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CampaignCell":
+        """Rebuild a cell from :meth:`to_dict` output."""
+        return cls(
+            algorithm=payload["algorithm"],
+            application=payload["application"],
+            num_objectives=int(payload["num_objectives"]),
+            seed=int(payload["seed"]),
+        )
+
+
+@dataclass
+class CampaignSummary:
+    """Outcome of one :func:`run_campaign` invocation."""
+
+    output_dir: Path
+    manifest_path: Path
+    cells: list[CampaignCell]
+    executed: list[str]
+    skipped: list[str]
+    parallel_evaluation: bool
+
+    def shard_path(self, key: str) -> Path:
+        """Path of the shard for a cell key."""
+        for cell in self.cells:
+            if cell.key == key:
+                return self.output_dir / cell.shard_name
+        raise KeyError(f"unknown cell key {key!r}")
+
+
+def campaign_cells(campaign: CampaignConfig) -> list[CampaignCell]:
+    """The full cell grid of a campaign, with per-cell derived seeds."""
+    algorithms = tuple(campaign.algorithms) or ALGORITHMS
+    unknown = [a for a in algorithms if a.upper() not in {x.upper() for x in ALGORITHMS} | {"MOEAD"}]
+    if unknown:
+        raise ValueError(f"unknown algorithms {unknown}; available: {ALGORITHMS}")
+    experiment = campaign.experiment
+    cells = [
+        CampaignCell(
+            algorithm=algorithm,
+            application=application,
+            num_objectives=num_objectives,
+            seed=_derived_seed(experiment, algorithm.upper(), application, num_objectives),
+        )
+        for algorithm in algorithms
+        for application in experiment.applications
+        for num_objectives in experiment.objective_counts
+    ]
+    keys = [cell.key for cell in cells]
+    if len(set(keys)) != len(keys):
+        raise ValueError("campaign grid contains duplicate cells (repeated algorithm/application?)")
+    return cells
+
+
+def _manifest_payload(campaign: CampaignConfig, cells: list[CampaignCell]) -> dict[str, Any]:
+    experiment = campaign.experiment
+    return {
+        "format": MANIFEST_FORMAT,
+        "platform": experiment.platform.name,
+        "base_seed": experiment.seed,
+        "cell_budget": campaign.cell_budget,
+        "population_size": experiment.population_size,
+        "cells": [cell.to_dict() for cell in cells],
+    }
+
+
+def load_manifest(output_dir: "str | Path") -> dict[str, Any]:
+    """Read a campaign manifest written by :func:`run_campaign`."""
+    path = Path(output_dir) / MANIFEST_NAME
+    payload = json.loads(path.read_text())
+    if payload.get("format") != MANIFEST_FORMAT:
+        raise ValueError(f"{path} is not a {MANIFEST_FORMAT} manifest")
+    return payload
+
+
+def _shard_complete(output_dir: Path, cell: CampaignCell) -> bool:
+    """True when the cell's shard exists, parses, and matches the cell's identity.
+
+    Shards are written atomically, so any existing file is a finished cell —
+    the parse and identity checks additionally guard against foreign files and
+    stale shards from a differently-seeded campaign in the same directory.
+    """
+    path = output_dir / cell.shard_name
+    if not path.exists():
+        return False
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(payload, dict) and payload.get("cell") == cell.to_dict()
+
+
+def campaign_status(output_dir: "str | Path") -> dict[str, bool]:
+    """Completion state of every cell recorded in a campaign manifest."""
+    output_dir = Path(output_dir)
+    manifest = load_manifest(output_dir)
+    cells = [CampaignCell.from_dict(entry) for entry in manifest["cells"]]
+    return {cell.key: _shard_complete(output_dir, cell) for cell in cells}
+
+
+def load_campaign_results(output_dir: "str | Path") -> Iterator[tuple[CampaignCell, OptimizationResult]]:
+    """Yield ``(cell, result)`` for every completed shard of a campaign.
+
+    Results are loaded lazily, one shard at a time, so summarising a large
+    campaign never holds more than one cell's result in memory.
+    """
+    output_dir = Path(output_dir)
+    manifest = load_manifest(output_dir)
+    for entry in manifest["cells"]:
+        cell = CampaignCell.from_dict(entry)
+        if _shard_complete(output_dir, cell):
+            yield cell, load_result(output_dir / cell.shard_name)
+
+
+def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir: str) -> dict[str, Any]:
+    """Run one grid cell and stream its result to the cell's shard.
+
+    Executed inside pool workers, so it takes only picklable arguments and
+    writes the (potentially large) result to disk in the worker instead of
+    shipping it back to the parent.
+    """
+    experiment = campaign.experiment
+    problem = make_problem(experiment, cell.application, cell.num_objectives)
+    problem.parallel_evaluation = campaign.resolve_parallel_evaluation()
+    try:
+        result = run_algorithm(
+            cell.algorithm,
+            problem,
+            experiment,
+            budget=Budget.evaluations(campaign.cell_budget),
+            seed=cell.seed,
+        )
+        payload = result_to_dict(result)
+        payload["cell"] = cell.to_dict()
+        write_json_atomic(payload, Path(output_dir) / cell.shard_name)
+    finally:
+        evaluator = getattr(problem, "evaluator", None)
+        if evaluator is not None:
+            evaluator.shutdown()
+    return {
+        "key": cell.key,
+        "evaluations": int(result.evaluations),
+        "elapsed_seconds": float(result.elapsed_seconds),
+    }
+
+
+def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> CampaignSummary:
+    """Run (or resume) a sharded campaign over the full algorithm/problem grid.
+
+    The manifest covering the *entire* grid is written first, then every cell
+    without a completed shard is executed — inline when ``max_workers == 1``,
+    otherwise fanned out over a process pool.  Each cell writes its own shard
+    atomically on completion, so killing the campaign at any point loses at
+    most the in-flight cells; re-running with ``resume=True`` (the default)
+    skips every completed cell.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    cells = campaign_cells(campaign)
+
+    manifest_path = output_dir / MANIFEST_NAME
+    if manifest_path.exists():
+        existing = load_manifest(output_dir)
+        if existing["cells"] != [cell.to_dict() for cell in cells]:
+            raise ValueError(
+                f"{output_dir} holds a different campaign grid; "
+                "use a fresh output directory (or matching configuration) to resume"
+            )
+        if existing.get("cell_budget") != campaign.cell_budget:
+            raise ValueError(
+                f"{output_dir} was run with a per-cell budget of "
+                f"{existing.get('cell_budget')} evaluations, not {campaign.cell_budget}; "
+                "resuming would mix budgets across cells — use a fresh output "
+                "directory or the original budget"
+            )
+    write_json_atomic(_manifest_payload(campaign, cells), manifest_path)
+
+    if campaign.resume:
+        done = {cell.key for cell in cells if _shard_complete(output_dir, cell)}
+    else:
+        done = set()
+    pending = [cell for cell in cells if cell.key not in done]
+
+    if campaign.max_workers > 1 and len(pending) > 1:
+        workers = min(campaign.max_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_run_campaign_cell, campaign, cell, str(output_dir))
+                for cell in pending
+            ]
+            for future in as_completed(futures):
+                future.result()
+    else:
+        for cell in pending:
+            _run_campaign_cell(campaign, cell, str(output_dir))
+
+    return CampaignSummary(
+        output_dir=output_dir,
+        manifest_path=manifest_path,
+        cells=cells,
+        executed=[cell.key for cell in pending],
+        skipped=[cell.key for cell in cells if cell.key in done],
+        parallel_evaluation=campaign.resolve_parallel_evaluation(),
+    )

@@ -27,15 +27,30 @@ class PopulationOptimizer:
     offline-performance protocol).  History snapshots and the reported "front
     at the stop budget" come from this archive, so PHV comparisons between
     algorithms measure search quality under exactly the same bookkeeping.
+
+    ``batch_evaluation`` selects between the vectorised hot path (broods of
+    designs scored through one :meth:`evaluate_batch` call) and the scalar
+    reference path (one :meth:`evaluate` call per design, the pre-batch
+    implementation).  Both consume the RNG identically — neighbour/offspring
+    generation always happens before any evaluation — so the two paths visit
+    exactly the same designs; the scalar path exists as the equivalence oracle
+    for the batched one.
     """
 
     name = "base"
 
-    def __init__(self, problem: Problem, population_size: int = 50, rng=None):
+    def __init__(
+        self,
+        problem: Problem,
+        population_size: int = 50,
+        rng=None,
+        batch_evaluation: bool = True,
+    ):
         if population_size < 2:
             raise ValueError("population_size must be >= 2")
         self.problem = problem
         self.population_size = population_size
+        self.batch_evaluation = batch_evaluation
         self.rng = ensure_rng(rng)
         self.designs: list[Any] = []
         self.objectives: np.ndarray = np.empty((0, problem.num_objectives))
@@ -67,10 +82,16 @@ class PopulationOptimizer:
         The whole initial population is scored through one
         :meth:`evaluate_batch` call so problems with a batch evaluation path
         (shared routing reuse, cache partitioning, parallel workers) are used
-        at full effect.
+        at full effect.  With ``batch_evaluation=False`` every design is scored
+        through a scalar :meth:`evaluate` call instead.
         """
         self.designs = [self.problem.random_design(self.rng) for _ in range(self.population_size)]
-        self.objectives = self.evaluate_batch(self.designs)
+        if self.batch_evaluation:
+            self.objectives = self.evaluate_batch(self.designs)
+        else:
+            self.objectives = np.array(
+                [self.evaluate(design) for design in self.designs], dtype=np.float64
+            )
 
     def step(self, iteration: int, budget: Budget) -> None:
         """One iteration of the algorithm (must be overridden)."""
@@ -91,7 +112,16 @@ class PopulationOptimizer:
 
         Routes through :meth:`Problem.evaluate_many` (one call for the whole
         batch), counts every design as one evaluation, and archives each
-        result, exactly as the scalar wrapper does.
+        result in order, exactly as the scalar wrapper does — so the archive
+        (and therefore every downstream front/PHV computation) evolves
+        identically whether a brood is scored scalar-by-scalar or in one call.
+
+        Budget-aware contract: a batch call advances :attr:`evaluations` by
+        ``len(designs)`` at once, so callers that must respect an evaluation
+        budget size their broods with :meth:`brood_limit` *before* calling —
+        :class:`~repro.moo.termination.Budget.exhausted` then fires at exactly
+        the same evaluation count as the scalar path, which checks between
+        single evaluations.
         """
         if not designs:
             return np.empty((0, self.problem.num_objectives), dtype=np.float64)
@@ -100,6 +130,18 @@ class PopulationOptimizer:
         for design, vector in zip(designs, objectives):
             self.archive.add(design, vector)
         return objectives
+
+    def brood_limit(self, budget: Budget, requested: int) -> int:
+        """Largest brood size the evaluation budget still allows.
+
+        Returns ``requested`` when the budget has no evaluation limit.  This is
+        the budget-aware half of the :meth:`evaluate_batch` contract: trimming
+        the brood *before* the batch call makes the batched path stop at
+        exactly the evaluation count where the scalar path's per-design budget
+        check would have stopped (no overshoot from scoring a whole brood).
+        """
+        remaining = budget.remaining_evaluations(self.evaluations)
+        return requested if remaining is None else min(requested, remaining)
 
     def elapsed(self) -> float:
         """Seconds since :meth:`run` started."""

@@ -18,6 +18,31 @@ from repro.utils.rng import ensure_rng
 ScalarFn = Callable[[Any, np.ndarray], float]
 
 
+def score_neighbor_brood(
+    problem: Problem,
+    current: Any,
+    count: int,
+    rng,
+    evaluate: Callable[[Any], np.ndarray] | None = None,
+    evaluate_many: Callable[[list[Any]], np.ndarray] | None = None,
+) -> tuple[list[Any], np.ndarray]:
+    """Generate ``count`` random neighbours of ``current`` and score them.
+
+    All neighbours are generated *before* any evaluation, so the batched
+    (``evaluate_many``) and scalar (``evaluate``) scoring paths consume the
+    RNG identically and visit the same designs — this is the invariant the
+    seeded batch-vs-scalar equivalence tests pin down.  Shared by
+    :func:`greedy_descent` and the MOOS / MOO-STAGE PHV local searches.
+    """
+    candidates = [problem.neighbor(current, rng) for _ in range(count)]
+    if evaluate_many is not None:
+        objectives = np.asarray(evaluate_many(candidates), dtype=np.float64)
+    else:
+        evaluate = evaluate if evaluate is not None else problem.evaluate
+        objectives = np.array([evaluate(candidate) for candidate in candidates], dtype=np.float64)
+    return candidates, objectives
+
+
 @dataclass(frozen=True)
 class TrajectoryPoint:
     """One visited design during a local search."""
@@ -97,13 +122,10 @@ def greedy_descent(
         best_candidate = None
         best_candidate_obj = None
         best_candidate_value = current_value
-        candidates = [problem.neighbor(current, rng) for _ in range(neighbors_per_step)]
-        if evaluate_many is not None:
-            candidate_objs = np.asarray(evaluate_many(candidates), dtype=np.float64)
-        else:
-            candidate_objs = [
-                np.asarray(evaluate(candidate), dtype=np.float64) for candidate in candidates
-            ]
+        candidates, candidate_objs = score_neighbor_brood(
+            problem, current, neighbors_per_step, rng,
+            evaluate=evaluate, evaluate_many=evaluate_many,
+        )
         evaluations += len(candidates)
         for candidate, candidate_obj in zip(candidates, candidate_objs):
             value = float(scalar_fn(candidate, candidate_obj))

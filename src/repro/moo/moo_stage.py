@@ -16,6 +16,7 @@ from repro.ml.forest import RandomForestRegressor
 from repro.moo.archive import ParetoArchive
 from repro.moo.base import PopulationOptimizer
 from repro.moo.hypervolume import hypervolume, hypervolume_contribution, reference_point_from
+from repro.moo.local_search import score_neighbor_brood
 from repro.moo.problem import Problem
 from repro.moo.termination import Budget
 
@@ -36,8 +37,9 @@ class MOOStage(PopulationOptimizer):
         max_training_samples: int = 10_000,
         forest_size: int = 20,
         rng=None,
+        batch_evaluation: bool = True,
     ):
-        super().__init__(problem, population_size, rng)
+        super().__init__(problem, population_size, rng, batch_evaluation=batch_evaluation)
         if searches_per_iteration < 1:
             raise ValueError("searches_per_iteration must be >= 1")
         if local_search_steps < 1:
@@ -97,6 +99,49 @@ class MOOStage(PopulationOptimizer):
     # PHV-greedy local search
     # ------------------------------------------------------------------ #
     def _phv_local_search(self, start_design, start_objectives, iteration: int, budget: Budget) -> None:
+        """PHV-greedy local search, scoring each step's neighbour brood in one batch.
+
+        Neighbours are generated before any evaluation and scored through one
+        counting :meth:`~repro.moo.base.PopulationOptimizer.evaluate_batch`
+        call per step; the archive snapshot the gains are measured against is
+        taken first, so the trajectory matches the scalar reference path
+        (:meth:`_phv_local_search_reference`) exactly.
+        """
+        if not self.batch_evaluation:
+            self._phv_local_search_reference(start_design, start_objectives, iteration, budget)
+            return
+        current = start_design
+        current_obj = np.asarray(start_objectives, dtype=np.float64)
+        start_features = self.problem.features(start_design)
+        for _ in range(self.local_search_steps):
+            if budget.exhausted(iteration, self.evaluations, self.elapsed()):
+                break
+            front = self.archive.objectives
+            candidates, candidate_objs = score_neighbor_brood(
+                self.problem, current, self.neighbors_per_step, self.rng,
+                evaluate_many=self.evaluate_batch,
+            )
+            best_candidate = None
+            best_candidate_obj = None
+            best_gain = 0.0
+            for candidate, candidate_obj in zip(candidates, candidate_objs):
+                gain = hypervolume_contribution(candidate_obj, front, self.reference)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_candidate = candidate
+                    best_candidate_obj = candidate_obj
+            if best_candidate is None:
+                break
+            current = best_candidate
+            current_obj = best_candidate_obj
+            self.archive.add(current, current_obj)
+        final_phv = hypervolume(self.archive.objectives, self.reference)
+        self._record_training_sample(start_features, final_phv)
+
+    def _phv_local_search_reference(
+        self, start_design, start_objectives, iteration: int, budget: Budget
+    ) -> None:
+        """Pre-batch scalar twin of :meth:`_phv_local_search` (equivalence oracle)."""
         current = start_design
         current_obj = np.asarray(start_objectives, dtype=np.float64)
         start_features = self.problem.features(start_design)

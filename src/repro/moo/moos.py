@@ -18,6 +18,7 @@ from repro.ml.forest import RandomForestRegressor
 from repro.moo.archive import ParetoArchive
 from repro.moo.base import PopulationOptimizer
 from repro.moo.hypervolume import hypervolume, hypervolume_contribution, reference_point_from
+from repro.moo.local_search import score_neighbor_brood
 from repro.moo.problem import Problem
 from repro.moo.scalarization import tchebycheff
 from repro.moo.termination import Budget
@@ -41,8 +42,9 @@ class MOOS(PopulationOptimizer):
         max_training_samples: int = 10_000,
         forest_size: int = 20,
         rng=None,
+        batch_evaluation: bool = True,
     ):
-        super().__init__(problem, population_size, rng)
+        super().__init__(problem, population_size, rng, batch_evaluation=batch_evaluation)
         if searches_per_iteration < 1:
             raise ValueError("searches_per_iteration must be >= 1")
         if local_search_steps < 1:
@@ -100,23 +102,27 @@ class MOOS(PopulationOptimizer):
                 plans.append((design, objectives, direction))
             return plans
 
-        # Score every (candidate, direction) pair with the learned model and
-        # greedily take the top pairs while keeping starts distinct.
-        scored: list[tuple[float, int, int]] = []
-        feature_rows = []
-        pair_index = []
-        for c_idx, (design, _) in enumerate(candidates):
-            base = self.problem.features(design)
-            for d_idx, direction in enumerate(self.directions):
-                feature_rows.append(np.concatenate([base, direction]))
-                pair_index.append((c_idx, d_idx))
-        predictions = self._model.predict(np.asarray(feature_rows, dtype=np.float64))
-        for (c_idx, d_idx), value in zip(pair_index, predictions):
-            scored.append((float(value), c_idx, d_idx))
-        scored.sort(key=lambda item: -item[0])
+        # Score every (candidate, direction) pair with the learned model in
+        # one vectorised predict over the full cross product, then greedily
+        # take the top pairs while keeping starts distinct.
+        base_features = np.asarray(
+            [self.problem.features(design) for design, _ in candidates], dtype=np.float64
+        )
+        num_candidates, num_directions = len(candidates), len(self.directions)
+        feature_rows = np.hstack(
+            [
+                np.repeat(base_features, num_directions, axis=0),
+                np.tile(self.directions, (num_candidates, 1)),
+            ]
+        )
+        predictions = self._model.predict(feature_rows)
+        # Stable argsort keeps the (candidate, direction)-lexicographic tie
+        # order of the previous per-pair Python sort.
+        order = np.argsort(-np.asarray(predictions, dtype=np.float64), kind="stable")
         plans = []
         used_starts: set[int] = set()
-        for _, c_idx, d_idx in scored:
+        for flat in order:
+            c_idx, d_idx = divmod(int(flat), num_directions)
             if c_idx in used_starts:
                 continue
             design, objectives = candidates[c_idx]
@@ -132,6 +138,63 @@ class MOOS(PopulationOptimizer):
     def _directed_local_search(
         self, start_design, start_objectives, direction: np.ndarray, iteration: int, budget: Budget
     ) -> None:
+        """Directed PHV local search, scoring each step's neighbour brood in one batch.
+
+        Every step generates all ``neighbors_per_step`` neighbours first, then
+        scores them through one counting
+        :meth:`~repro.moo.base.PopulationOptimizer.evaluate_batch` call.  The
+        archive snapshot (``front``) is taken before the brood is archived and
+        the acceptance test runs on the scored matrix afterwards, so the
+        trajectory is identical to the scalar reference path
+        (:meth:`_directed_local_search_reference`), which interleaves
+        evaluation with the acceptance test.
+        """
+        if not self.batch_evaluation:
+            self._directed_local_search_reference(
+                start_design, start_objectives, direction, iteration, budget
+            )
+            return
+        current = start_design
+        current_obj = np.asarray(start_objectives, dtype=np.float64)
+        ideal = self.archive.objectives.min(axis=0) if len(self.archive) else current_obj
+        start_features = np.concatenate([self.problem.features(start_design), direction])
+        phv_before = hypervolume(self.archive.objectives, self.reference)
+        current_scalar = tchebycheff(current_obj, direction, ideal)
+        for _ in range(self.local_search_steps):
+            if budget.exhausted(iteration, self.evaluations, self.elapsed()):
+                break
+            front = self.archive.objectives
+            candidates, candidate_objs = score_neighbor_brood(
+                self.problem, current, self.neighbors_per_step, self.rng,
+                evaluate_many=self.evaluate_batch,
+            )
+            best_candidate = None
+            best_candidate_obj = None
+            best_score = 0.0
+            best_scalar = current_scalar
+            for candidate, candidate_obj in zip(candidates, candidate_objs):
+                gain = hypervolume_contribution(candidate_obj, front, self.reference)
+                scalar = tchebycheff(candidate_obj, direction, ideal)
+                # Accept moves that grow the archive PHV, preferring moves that
+                # also advance along the chosen scalarisation direction.
+                if gain > 0.0 and (gain > best_score or scalar < best_scalar):
+                    best_score = gain
+                    best_scalar = scalar
+                    best_candidate = candidate
+                    best_candidate_obj = candidate_obj
+            if best_candidate is None:
+                break
+            current = best_candidate
+            current_obj = best_candidate_obj
+            current_scalar = best_scalar
+            self.archive.add(current, current_obj)
+        phv_after = hypervolume(self.archive.objectives, self.reference)
+        self._record_training_sample(start_features, phv_after - phv_before)
+
+    def _directed_local_search_reference(
+        self, start_design, start_objectives, direction: np.ndarray, iteration: int, budget: Budget
+    ) -> None:
+        """Pre-batch scalar twin of :meth:`_directed_local_search` (equivalence oracle)."""
         current = start_design
         current_obj = np.asarray(start_objectives, dtype=np.float64)
         ideal = self.archive.objectives.min(axis=0) if len(self.archive) else current_obj
@@ -151,8 +214,6 @@ class MOOS(PopulationOptimizer):
                 candidate_obj = self.evaluate(candidate)
                 gain = hypervolume_contribution(candidate_obj, front, self.reference)
                 scalar = tchebycheff(candidate_obj, direction, ideal)
-                # Accept moves that grow the archive PHV, preferring moves that
-                # also advance along the chosen scalarisation direction.
                 if gain > 0.0 and (gain > best_score or scalar < best_scalar):
                     best_score = gain
                     best_scalar = scalar

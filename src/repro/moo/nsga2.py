@@ -27,8 +27,9 @@ class NSGA2(PopulationOptimizer):
         crossover_probability: float = 0.9,
         mutation_probability: float = 0.3,
         rng=None,
+        batch_evaluation: bool = True,
     ):
-        super().__init__(problem, population_size, rng)
+        super().__init__(problem, population_size, rng, batch_evaluation=batch_evaluation)
         if not (0.0 <= crossover_probability <= 1.0):
             raise ValueError("crossover_probability must lie in [0, 1]")
         if not (0.0 <= mutation_probability <= 1.0):
@@ -46,21 +47,45 @@ class NSGA2(PopulationOptimizer):
         self._refresh_rank_and_crowding()
 
     def step(self, iteration: int, budget: Budget) -> None:
+        """One generation: mate a whole offspring brood, score it in one batch.
+
+        The brood is generated first (tournament draws, crossover, mutation —
+        all RNG consumption) and then scored through a single
+        :meth:`~repro.moo.base.PopulationOptimizer.evaluate_batch` call, so the
+        problem's vectorised evaluation path amortises routing and caching
+        across the generation.  :meth:`brood_limit` trims the brood when the
+        evaluation budget would exhaust mid-generation, mirroring the per-child
+        budget check of the scalar reference path
+        (:meth:`step_reference`) — both paths stop at the same evaluation
+        count and visit the same designs.
+        """
+        if not self.batch_evaluation:
+            self.step_reference(iteration, budget)
+            return
+        if budget.exhausted(iteration, self.evaluations, self.elapsed()):
+            return
+        brood_size = self.brood_limit(budget, self.population_size)
+        if brood_size == 0:
+            return
+        offspring_designs = [self._mate_one() for _ in range(brood_size)]
+        offspring_objectives = self.evaluate_batch(offspring_designs)
+        combined_designs = self.designs + offspring_designs
+        combined_objectives = np.vstack([self.objectives, offspring_objectives])
+        self._survival(combined_designs, combined_objectives)
+
+    def step_reference(self, iteration: int, budget: Budget) -> None:
+        """Pre-batch scalar generation (one :meth:`evaluate` call per child).
+
+        Kept verbatim as the equivalence oracle for the batched :meth:`step`:
+        seeded runs of both paths must produce identical populations,
+        objective matrices and evaluation counts.
+        """
         offspring_designs = []
         offspring_objectives = []
         while len(offspring_designs) < self.population_size:
             if budget.exhausted(iteration, self.evaluations, self.elapsed()):
                 break
-            parent_a = self._tournament()
-            parent_b = self._tournament()
-            if self.rng.random() < self.crossover_probability:
-                child = self.problem.crossover(
-                    self.designs[parent_a], self.designs[parent_b], self.rng
-                )
-            else:
-                child = self.designs[parent_a]
-            if self.rng.random() < self.mutation_probability:
-                child = self.problem.mutate(child, self.rng)
+            child = self._mate_one()
             offspring_designs.append(child)
             offspring_objectives.append(self.evaluate(child))
         if not offspring_designs:
@@ -68,6 +93,18 @@ class NSGA2(PopulationOptimizer):
         combined_designs = self.designs + offspring_designs
         combined_objectives = np.vstack([self.objectives, np.asarray(offspring_objectives)])
         self._survival(combined_designs, combined_objectives)
+
+    def _mate_one(self):
+        """Produce one child via tournament selection, crossover and mutation."""
+        parent_a = self._tournament()
+        parent_b = self._tournament()
+        if self.rng.random() < self.crossover_probability:
+            child = self.problem.crossover(self.designs[parent_a], self.designs[parent_b], self.rng)
+        else:
+            child = self.designs[parent_a]
+        if self.rng.random() < self.mutation_probability:
+            child = self.problem.mutate(child, self.rng)
+        return child
 
     # ------------------------------------------------------------------ #
     # Selection and survival

@@ -9,21 +9,37 @@ format is plain JSON with explicit fields so other tools can consume it.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
-from repro.moo.result import OptimizationResult
+from repro.moo.result import OptimizationResult, SearchSnapshot
 from repro.noc.design import NocDesign
 from repro.noc.platform import PlatformConfig
+
+
+def write_json_atomic(payload: Any, path: "str | Path", indent: int | None = 2) -> Path:
+    """Write JSON to ``path`` atomically (temp file + rename).
+
+    Campaign shards and manifests are written through this helper so a killed
+    run can never leave a half-written file behind: a shard either exists and
+    parses, or does not exist — which is exactly the completion test the
+    campaign resume logic relies on.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=indent))
+    os.replace(tmp, path)
+    return path
 
 
 def design_to_dict(design: NocDesign) -> dict[str, Any]:
     """Convert a design to a JSON-serialisable dictionary."""
     return {
-        "placement": list(design.placement),
-        "links": [[link.a, link.b] for link in design.links],
+        "placement": [int(pe) for pe in design.placement],
+        "links": [[int(link.a), int(link.b)] for link in design.links],
     }
 
 
@@ -95,8 +111,49 @@ def result_to_dict(result: OptimizationResult, reference: np.ndarray | None = No
     return payload
 
 
+def result_from_dict(payload: dict[str, Any]) -> OptimizationResult:
+    """Rebuild an :class:`OptimizationResult` from :func:`result_to_dict` output.
+
+    Designs are restored when the payload carries them (NoC designs written
+    via :func:`design_to_dict`); the reference point and hypervolume, when
+    present, land in ``metadata``.  Round-tripping preserves objectives,
+    history snapshots and evaluation counts exactly (JSON stores binary64
+    floats losslessly via repr).
+    """
+    for field in ("algorithm", "problem", "objectives"):
+        if field not in payload:
+            raise ValueError(f"result payload must contain {field!r}")
+    history = [
+        SearchSnapshot(
+            iteration=int(snap["iteration"]),
+            evaluations=int(snap["evaluations"]),
+            elapsed_seconds=float(snap["elapsed_seconds"]),
+            front=np.asarray(snap["front"], dtype=np.float64),
+        )
+        for snap in payload.get("history", [])
+    ]
+    designs = [design_from_dict(entry) for entry in payload.get("designs", [])]
+    result = OptimizationResult(
+        algorithm=payload["algorithm"],
+        problem_name=payload["problem"],
+        designs=designs,
+        objectives=np.asarray(payload["objectives"], dtype=np.float64),
+        history=history,
+        evaluations=int(payload.get("evaluations", 0)),
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+    )
+    if "reference_point" in payload:
+        result.metadata["reference_point"] = np.asarray(payload["reference_point"], dtype=np.float64)
+    if "hypervolume" in payload:
+        result.metadata["hypervolume"] = float(payload["hypervolume"])
+    return result
+
+
 def save_result(result: OptimizationResult, path: "str | Path", reference: np.ndarray | None = None) -> Path:
-    """Write a result summary to a JSON file and return the path."""
-    path = Path(path)
-    path.write_text(json.dumps(result_to_dict(result, reference), indent=2))
-    return path
+    """Write a result summary to a JSON file (atomically) and return the path."""
+    return write_json_atomic(result_to_dict(result, reference), path)
+
+
+def load_result(path: "str | Path") -> OptimizationResult:
+    """Read a result summary written by :func:`save_result`."""
+    return result_from_dict(json.loads(Path(path).read_text()))

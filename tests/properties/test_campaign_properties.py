@@ -1,0 +1,133 @@
+"""Property-based tests (hypothesis) for the campaign-runner invariants.
+
+Three invariants keep sharded campaigns trustworthy at scale: the manifest
+always covers the full (algorithm x application x scenario) grid, per-cell
+derived seeds are unique across the grid (independent search streams), and
+resuming never re-runs a completed cell.
+"""
+
+from dataclasses import replace
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import CampaignConfig, ExperimentConfig
+from repro.experiments.runner import ALGORITHMS, CampaignCell, campaign_cells
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALL_APPLICATIONS = ("BFS", "BP", "GAU", "HOT", "PF", "SRAD")
+
+algorithm_subsets = st.lists(
+    st.sampled_from(ALGORITHMS), min_size=1, max_size=len(ALGORITHMS), unique=True
+).map(tuple)
+application_subsets = st.lists(
+    st.sampled_from(ALL_APPLICATIONS), min_size=1, max_size=len(ALL_APPLICATIONS), unique=True
+).map(tuple)
+objective_subsets = st.lists(
+    st.sampled_from((3, 4, 5)), min_size=1, max_size=3, unique=True
+).map(tuple)
+base_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def build_campaign(algorithms, applications, objective_counts, seed) -> CampaignConfig:
+    experiment = replace(
+        ExperimentConfig.smoke(),
+        applications=applications,
+        objective_counts=objective_counts,
+        seed=seed,
+    )
+    return CampaignConfig(experiment=experiment, algorithms=algorithms)
+
+
+@given(
+    algorithms=algorithm_subsets,
+    applications=application_subsets,
+    objective_counts=objective_subsets,
+    seed=base_seeds,
+)
+@SETTINGS
+def test_grid_covers_full_cross_product(algorithms, applications, objective_counts, seed):
+    campaign = build_campaign(algorithms, applications, objective_counts, seed)
+    cells = campaign_cells(campaign)
+    assert len(cells) == len(algorithms) * len(applications) * len(objective_counts)
+    covered = {(c.algorithm, c.application, c.num_objectives) for c in cells}
+    expected = {
+        (alg, app, m) for alg in algorithms for app in applications for m in objective_counts
+    }
+    assert covered == expected
+
+
+@given(
+    algorithms=algorithm_subsets,
+    applications=application_subsets,
+    objective_counts=objective_subsets,
+    seed=base_seeds,
+)
+@SETTINGS
+def test_derived_seeds_unique_across_grid(algorithms, applications, objective_counts, seed):
+    cells = campaign_cells(build_campaign(algorithms, applications, objective_counts, seed))
+    seeds = [c.seed for c in cells]
+    assert len(set(seeds)) == len(seeds)
+    # Seeds are also valid numpy Generator seeds (non-negative 31-bit ints).
+    assert all(0 <= s < 2**31 for s in seeds)
+
+
+@given(
+    algorithms=algorithm_subsets,
+    applications=application_subsets,
+    objective_counts=objective_subsets,
+    seed=base_seeds,
+)
+@SETTINGS
+def test_cell_keys_unique_and_round_trip(algorithms, applications, objective_counts, seed):
+    cells = campaign_cells(build_campaign(algorithms, applications, objective_counts, seed))
+    keys = [c.key for c in cells]
+    assert len(set(keys)) == len(keys)
+    for cell in cells:
+        rebuilt = CampaignCell.from_dict(cell.to_dict())
+        assert rebuilt == cell and rebuilt.shard_name == cell.shard_name
+
+
+@given(seed_a=base_seeds, seed_b=base_seeds)
+@SETTINGS
+def test_seeds_deterministic_in_config_and_sensitive_to_base_seed(seed_a, seed_b):
+    campaign_a = build_campaign(("NSGA-II",), ("BFS",), (3,), seed_a)
+    assert campaign_cells(campaign_a) == campaign_cells(campaign_a)
+    if seed_a != seed_b:
+        campaign_b = build_campaign(("NSGA-II",), ("BFS",), (3,), seed_b)
+        assert campaign_cells(campaign_a)[0].seed != campaign_cells(campaign_b)[0].seed
+
+
+def test_resume_after_kill_never_reruns_completed_cells(tmp_path):
+    """Simulated kill: some shards written, manifest present, one cell missing.
+
+    Resuming must execute exactly the missing cells and leave completed
+    shards untouched (checked by nanosecond mtime).
+    """
+    from repro.experiments.runner import run_campaign
+
+    campaign = CampaignConfig(
+        experiment=replace(ExperimentConfig.smoke(), applications=("BFS", "BP")),
+        algorithms=("MOEA/D", "NSGA-II"),
+        max_evaluations=40,
+    )
+    summary = run_campaign(campaign, tmp_path)
+
+    killed = {summary.cells[1].key, summary.cells[3].key}
+    for key in killed:
+        summary.shard_path(key).unlink()
+    mtimes = {
+        c.key: summary.shard_path(c.key).stat().st_mtime_ns
+        for c in summary.cells
+        if c.key not in killed
+    }
+
+    resumed = run_campaign(campaign, tmp_path)
+    assert sorted(resumed.executed) == sorted(killed)
+    for key, mtime in mtimes.items():
+        assert resumed.shard_path(key).stat().st_mtime_ns == mtime

@@ -11,10 +11,13 @@ from repro.utils.serialization import (
     design_from_dict,
     design_to_dict,
     load_design,
+    load_result,
     platform_to_dict,
+    result_from_dict,
     result_to_dict,
     save_design,
     save_result,
+    write_json_atomic,
 )
 
 
@@ -77,3 +80,41 @@ class TestResultSerialization:
         path = save_result(self._result(tiny_designs[:2]), tmp_path / "result.json")
         loaded = json.loads(path.read_text())
         assert loaded["problem"] == "toy"
+
+    def test_result_round_trips_in_memory(self, tiny_designs):
+        result = self._result(tiny_designs[:2])
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.algorithm == result.algorithm
+        assert rebuilt.problem_name == result.problem_name
+        assert rebuilt.evaluations == result.evaluations
+        np.testing.assert_array_equal(rebuilt.objectives, result.objectives)
+        assert rebuilt.designs == result.designs
+        assert [s.evaluations for s in rebuilt.history] == [s.evaluations for s in result.history]
+        for snap_r, snap_o in zip(rebuilt.history, result.history):
+            np.testing.assert_array_equal(snap_r.front, snap_o.front)
+
+    def test_result_round_trips_via_file_exactly(self, tiny_designs, tmp_path):
+        """JSON's repr-based float encoding preserves binary64 values losslessly."""
+        result = self._result(tiny_designs[:2])
+        result.objectives[0, 0] = 1.0 / 3.0  # a value with no short decimal form
+        path = save_result(result, tmp_path / "result.json", reference=np.array([5.0, 5.0]))
+        rebuilt = load_result(path)
+        np.testing.assert_array_equal(rebuilt.objectives, result.objectives)
+        assert rebuilt.metadata["hypervolume"] == result.final_hypervolume(np.array([5.0, 5.0]))
+
+    def test_result_from_dict_rejects_missing_fields(self):
+        with pytest.raises(ValueError):
+            result_from_dict({"algorithm": "MOELA"})
+
+
+class TestAtomicWrite:
+    def test_writes_payload_and_removes_temp(self, tmp_path):
+        path = write_json_atomic({"a": 1}, tmp_path / "out.json")
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_replaces_existing_file(self, tmp_path):
+        target = tmp_path / "out.json"
+        write_json_atomic({"a": 1}, target)
+        write_json_atomic({"a": 2}, target)
+        assert json.loads(target.read_text()) == {"a": 2}
