@@ -8,6 +8,10 @@ its inner loop.
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -172,6 +176,128 @@ def test_campaign_resume_scan(benchmark, tmp_path):
     run_campaign(campaign, tmp_path)
     summary = benchmark(lambda: run_campaign(campaign, tmp_path))
     assert not summary.executed and len(summary.skipped) == 2
+
+
+# ---------------------------------------------------------------------- #
+# Routing-cache benchmark (RoutingEngine): fresh vs cached vs incremental
+# ---------------------------------------------------------------------- #
+#: Where the routing-cache benchmark records its numbers (perf trajectory).
+BENCH_ROUTING_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
+
+
+def _neighbor_broods(size: int = 64, seed: int = 42):
+    """One parent plus three neighbour broods of ``size`` designs each.
+
+    ``placement`` holds placement-only moves (swap_pe / swap_llc /
+    pull_communicating_pair — the cache-hit tier), ``mixed`` the natural
+    ``random_neighbor`` mix a local search generates, and ``rewire`` pure
+    link rewires (the incremental-repair tier).
+    """
+    moves = MoveGenerator(PLATFORM, WORKLOAD)
+    parent = random_design(PLATFORM, 0)
+    rng = np.random.default_rng(seed)
+    placement_ops = [moves.swap_pe, moves.swap_llc, moves.pull_communicating_pair]
+    placement: list = []
+    while len(placement) < size:
+        candidate = placement_ops[int(rng.integers(len(placement_ops)))](parent, rng)
+        if candidate is not None:
+            placement.append(candidate)
+    mixed = [moves.random_neighbor(parent, rng) for _ in range(size)]
+    rewire: list = []
+    while len(rewire) < size:
+        candidate = moves.rewire_link(parent, rng)
+        if candidate is not None:
+            rewire.append(candidate)
+    return parent, {"placement": placement, "mixed": mixed, "rewire": rewire}
+
+
+def _time_brood(routing_cache: bool, parent, brood) -> tuple[float, np.ndarray, dict]:
+    """Seconds to batch-evaluate ``brood`` with the engine on or off.
+
+    The parent is evaluated first (outside the timed section) so the engine
+    starts with the parent topology cached — exactly the state a local search
+    is in when it scores a neighbour brood.
+    """
+    evaluator = ObjectiveEvaluator(
+        WORKLOAD, scenario_for(5), cache_size=0, routing_cache=routing_cache
+    )
+    evaluator.evaluate(parent)
+    start = time.perf_counter()
+    matrix = evaluator.evaluate_many(brood)
+    return time.perf_counter() - start, matrix, evaluator.routing_cache_stats()
+
+
+def run_routing_cache_bench(size: int = 64, repeats: int = 3) -> dict:
+    """Measure the routing cache on the three brood kinds and build the payload.
+
+    Each (brood, mode) pair is timed ``repeats`` times and the best time kept
+    (standard micro-benchmark practice: the minimum is the least noisy
+    estimator).  Equivalence (engine on == engine off, bit-identical) is
+    asserted as part of the run.
+    """
+    parent, broods = _neighbor_broods(size=size)
+    payload: dict = {
+        "platform": PLATFORM.name,
+        "workload": WORKLOAD.name,
+        "scenario": "5-obj",
+        "brood_size": size,
+        "broods": {},
+    }
+    for name, brood in broods.items():
+        fresh_best = cached_best = float("inf")
+        stats: dict = {}
+        for _ in range(repeats):
+            fresh_seconds, fresh_matrix, _ = _time_brood(False, parent, brood)
+            cached_seconds, cached_matrix, stats = _time_brood(True, parent, brood)
+            np.testing.assert_array_equal(fresh_matrix, cached_matrix)
+            fresh_best = min(fresh_best, fresh_seconds)
+            cached_best = min(cached_best, cached_seconds)
+        payload["broods"][name] = {
+            "fresh_seconds": fresh_best,
+            "cached_seconds": cached_best,
+            "speedup": fresh_best / cached_best,
+            "engine": {
+                key: stats[key]
+                for key in ("hits", "misses", "incremental_repairs", "hit_rate")
+            },
+        }
+    return payload
+
+
+def test_routing_cache_bench_writes_json():
+    """Routing-cache bench: record fresh/cached/incremental timings to disk.
+
+    No wall-clock thresholds here (runs on noisy CI); the assertion half
+    lives in :func:`test_routing_cache_speedup_placement_brood` behind the
+    ``perf`` marker.  Writes ``BENCH_routing.json`` at the repo root, seeding
+    the perf trajectory with the engine's numbers.
+    """
+    payload = run_routing_cache_bench()
+    BENCH_ROUTING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for name, entry in payload["broods"].items():
+        print(f"{name}: fresh {entry['fresh_seconds'] * 1e3:.1f} ms vs "
+              f"cached {entry['cached_seconds'] * 1e3:.1f} ms -> {entry['speedup']:.2f}x "
+              f"(hits={entry['engine']['hits']} repairs={entry['engine']['incremental_repairs']})")
+    placement = payload["broods"]["placement"]["engine"]
+    assert placement["hits"] > 0 and placement["misses"] <= 1
+    rewire = payload["broods"]["rewire"]["engine"]
+    assert rewire["incremental_repairs"] > 0
+
+
+@pytest.mark.perf
+def test_routing_cache_speedup_placement_brood():
+    """The engine is >= 2x faster on a placement-move-dominated neighbour brood.
+
+    This is the acceptance criterion of the RoutingEngine work: placement
+    moves dominate local-search broods, their children share the parent's
+    link set, and the engine serves them from the cache without a single
+    Dijkstra run.  Marked ``perf`` so noisy environments can deselect it
+    structurally with ``-m "not perf"`` (the CI test job does).
+    """
+    payload = run_routing_cache_bench()
+    speedup = payload["broods"]["placement"]["speedup"]
+    print(f"placement-brood routing-cache speedup: {speedup:.2f}x")
+    assert speedup >= 2.0, f"routing cache only {speedup:.2f}x on a placement brood"
 
 
 @pytest.mark.benchmark(group="components")

@@ -23,6 +23,7 @@ from dataclasses import replace
 
 from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.experiments.runner import ALGORITHMS, campaign_status, load_campaign_results, run_campaign
+from repro.experiments.tables import aggregate_campaign, format_table
 from repro.moo.hypervolume import reference_point_from
 
 
@@ -47,6 +48,12 @@ def main() -> None:
     parser.add_argument("--algorithms", nargs="*", help="subset of algorithms (default: all)")
     parser.add_argument("--paper", action="store_true", help="full paper-scale 4x4x4 campaign")
     parser.add_argument("--smoke", action="store_true", help="tiny 4-cell campaign for CI / demos")
+    parser.add_argument(
+        "--tables",
+        action="store_true",
+        help="after the campaign, fold the finished shards into the Table I/II "
+        "builders (no cell is re-run)",
+    )
     args = parser.parse_args()
 
     campaign = build_campaign(args)
@@ -68,12 +75,25 @@ def main() -> None:
     status = campaign_status(summary.output_dir)
     assert all(status.values()), "campaign finished with incomplete cells"
 
+    if summary.routing_cache:
+        stats = summary.routing_cache
+        print(f"routing cache: {stats['hits']} hits, {stats['misses']} misses, "
+              f"{stats['incremental_repairs']} incremental repairs "
+              f"(hit rate {stats['hit_rate']:.1%})")
+
     print("\nper-cell fronts (self-referenced hypervolume):")
     for cell, result in load_campaign_results(summary.output_dir):
         front = result.final_front()
         phv = result.final_hypervolume(reference_point_from(front))
         print(f"  {cell.key:<28} evaluations={result.evaluations:<7} "
               f"front={len(front):<3} phv={phv:.4g}")
+
+    if args.tables:
+        aggregate = aggregate_campaign(summary.output_dir)
+        print(f"\ncampaign tables ({aggregate.target} vs {', '.join(aggregate.baselines)}):\n")
+        print(format_table(aggregate.table1()))
+        print()
+        print(format_table(aggregate.table2()))
 
 
 if __name__ == "__main__":

@@ -15,7 +15,7 @@ from repro.moo.problem import Problem
 from repro.noc.constraints import ConstraintChecker, random_design
 from repro.noc.crossover import crossover
 from repro.noc.design import NocDesign
-from repro.noc.moves import MoveGenerator
+from repro.noc.moves import MoveGenerator, mutate
 from repro.noc.platform import PlatformConfig
 from repro.objectives.evaluator import ObjectiveEvaluator, ObjectiveScenario, scenario_for
 from repro.utils.rng import ensure_rng
@@ -40,6 +40,11 @@ class NocDesignProblem(Problem):
         When True, batch evaluations (:meth:`evaluate_many`) compute cache
         misses on a process pool; the serial default is faster for the small
         platforms used in tests.
+    routing_cache:
+        Routes all evaluation through the evaluator's shared
+        :class:`~repro.noc.routing_engine.RoutingEngine` (cross-design route
+        cache with incremental repair).  ``False`` selects the historical
+        fresh-build-per-design path; results are bit-identical either way.
     """
 
     def __init__(
@@ -49,13 +54,16 @@ class NocDesignProblem(Problem):
         cache_size: int = 50_000,
         mutation_strength: int = 1,
         parallel_evaluation: bool = False,
+        routing_cache: bool = True,
     ):
         if isinstance(scenario, int):
             scenario = scenario_for(scenario)
         self.workload = workload
         self.config: PlatformConfig = workload.config
         self.scenario = scenario
-        self.evaluator = ObjectiveEvaluator(workload, scenario, cache_size=cache_size)
+        self.evaluator = ObjectiveEvaluator(
+            workload, scenario, cache_size=cache_size, routing_cache=routing_cache
+        )
         self.moves = MoveGenerator(self.config, workload)
         self.checker = ConstraintChecker(self.config)
         self.featurizer = DesignFeaturizer(self.config, workload)
@@ -94,11 +102,15 @@ class NocDesignProblem(Problem):
         return crossover(parent_a, parent_b, self.config, ensure_rng(rng))
 
     def mutate(self, design: NocDesign, rng=None) -> NocDesign:
-        rng = ensure_rng(rng)
-        current = design
-        for _ in range(self.mutation_strength):
-            current = self.moves.random_neighbor(current, rng)
-        return current
+        if self.mutation_strength < 1:
+            return design
+        return mutate(
+            design,
+            self.config,
+            ensure_rng(rng),
+            strength=self.mutation_strength,
+            generator=self.moves,
+        )
 
     def design_key(self, design: NocDesign):
         return design.key()
@@ -110,6 +122,10 @@ class NocDesignProblem(Problem):
     def evaluations(self) -> int:
         """Unique (non-cached) objective evaluations performed so far."""
         return self.evaluator.evaluations
+
+    def routing_cache_stats(self) -> dict[str, "int | float | bool"]:
+        """Routing-engine hit/miss/incremental-repair counters of the evaluator."""
+        return self.evaluator.routing_cache_stats()
 
     # ------------------------------------------------------------------ #
     # Convenience

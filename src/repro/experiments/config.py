@@ -139,6 +139,12 @@ class CampaignConfig:
         :data:`PARALLEL_EVALUATION_MIN_TILES` tiles) when the campaign itself
         is not already fanning cells out over processes — nesting pools would
         oversubscribe the machine.
+    routing_cache:
+        Routes every cell's evaluation through the cross-design
+        :class:`~repro.noc.routing_engine.RoutingEngine` route cache (the
+        default); ``False`` is the escape hatch selecting the historical
+        fresh-build-per-design path.  Each cell's hit/miss/repair counters are
+        recorded in its shard and summarised in the campaign manifest.
     max_evaluations:
         Per-cell evaluation budget override; ``None`` uses the experiment's
         ``max_evaluations``.
@@ -149,6 +155,7 @@ class CampaignConfig:
     max_workers: int = 1
     resume: bool = True
     parallel_evaluation: bool | None = None
+    routing_cache: bool = True
     max_evaluations: int | None = None
 
     def __post_init__(self) -> None:

@@ -42,11 +42,14 @@ MANIFEST_FORMAT = "repro-campaign/1"
 
 
 def make_problem(
-    experiment: ExperimentConfig, application: str, num_objectives: int
+    experiment: ExperimentConfig,
+    application: str,
+    num_objectives: int,
+    routing_cache: bool = True,
 ) -> NocDesignProblem:
     """Build the NoC design problem for one application and objective scenario."""
     workload = get_workload(application, experiment.platform, seed=experiment.seed)
-    return NocDesignProblem(workload, scenario=num_objectives)
+    return NocDesignProblem(workload, scenario=num_objectives, routing_cache=routing_cache)
 
 
 def _derived_seed(experiment: ExperimentConfig, algorithm: str, application: str, num_objectives: int) -> int:
@@ -196,6 +199,7 @@ class CampaignSummary:
     executed: list[str]
     skipped: list[str]
     parallel_evaluation: bool
+    routing_cache: "dict[str, Any] | None" = None  # aggregate engine counters (see manifest)
 
     def shard_path(self, key: str) -> Path:
         """Path of the shard for a cell key."""
@@ -267,6 +271,44 @@ def _shard_complete(output_dir: Path, cell: CampaignCell) -> bool:
     return isinstance(payload, dict) and payload.get("cell") == cell.to_dict()
 
 
+def aggregate_routing_cache_stats(output_dir: "str | Path", cells: list[CampaignCell]) -> dict[str, Any]:
+    """Fold the per-shard routing-cache counters into one campaign summary.
+
+    Cells whose shard predates the routing-cache format (or is missing) are
+    counted in ``cells_missing_stats`` instead of silently skewing the rate.
+    """
+    output_dir = Path(output_dir)
+    totals = {"hits": 0, "misses": 0, "incremental_repairs": 0}
+    counted = 0
+    missing = 0
+    for cell in cells:
+        # One parse per shard: completion check (shard parses and matches the
+        # cell identity) and counter extraction share the same payload —
+        # paper-scale shards are multi-MB, so re-parsing per question adds up.
+        path = output_dir / cell.shard_name
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(payload, dict) or payload.get("cell") != cell.to_dict():
+            continue
+        stats = payload.get("routing_cache")
+        if not isinstance(stats, dict):
+            missing += 1
+            continue
+        counted += 1
+        for field_name in totals:
+            totals[field_name] += int(stats.get(field_name, 0))
+    requests = totals["hits"] + totals["misses"] + totals["incremental_repairs"]
+    return {
+        "cells_counted": counted,
+        "cells_missing_stats": missing,
+        **totals,
+        "requests": requests,
+        "hit_rate": totals["hits"] / requests if requests else 0.0,
+    }
+
+
 def campaign_status(output_dir: "str | Path") -> dict[str, bool]:
     """Completion state of every cell recorded in a campaign manifest."""
     output_dir = Path(output_dir)
@@ -297,7 +339,9 @@ def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir:
     shipping it back to the parent.
     """
     experiment = campaign.experiment
-    problem = make_problem(experiment, cell.application, cell.num_objectives)
+    problem = make_problem(
+        experiment, cell.application, cell.num_objectives, routing_cache=campaign.routing_cache
+    )
     problem.parallel_evaluation = campaign.resolve_parallel_evaluation()
     try:
         result = run_algorithm(
@@ -307,8 +351,10 @@ def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir:
             budget=Budget.evaluations(campaign.cell_budget),
             seed=cell.seed,
         )
+        routing_stats = problem.routing_cache_stats()
         payload = result_to_dict(result)
         payload["cell"] = cell.to_dict()
+        payload["routing_cache"] = routing_stats
         write_json_atomic(payload, Path(output_dir) / cell.shard_name)
     finally:
         evaluator = getattr(problem, "evaluator", None)
@@ -318,6 +364,7 @@ def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir:
         "key": cell.key,
         "evaluations": int(result.evaluations),
         "elapsed_seconds": float(result.elapsed_seconds),
+        "routing_cache": routing_stats,
     }
 
 
@@ -371,6 +418,14 @@ def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> Campaign
         for cell in pending:
             _run_campaign_cell(campaign, cell, str(output_dir))
 
+    # Fold every completed shard's routing-engine counters into the manifest
+    # so a finished campaign reports its cache effectiveness without anyone
+    # re-reading the shards.
+    routing_stats = aggregate_routing_cache_stats(output_dir, cells)
+    manifest_payload = _manifest_payload(campaign, cells)
+    manifest_payload["routing_cache"] = routing_stats
+    write_json_atomic(manifest_payload, manifest_path)
+
     return CampaignSummary(
         output_dir=output_dir,
         manifest_path=manifest_path,
@@ -378,4 +433,5 @@ def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> Campaign
         executed=[cell.key for cell in pending],
         skipped=[cell.key for cell in cells if cell.key in done],
         parallel_evaluation=campaign.resolve_parallel_evaluation(),
+        routing_cache=routing_stats,
     )

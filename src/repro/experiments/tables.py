@@ -5,12 +5,22 @@ objective scenarios and returns plain row dictionaries mirroring the paper's
 layout (applications as rows, ``{baseline} x {3,4,5}-obj`` as columns);
 ``format_table`` / ``format_figure3`` render them as text tables so the
 benchmark harness prints the same rows the paper reports.
+
+Campaign analytics
+------------------
+:func:`aggregate_campaign` folds the finished shards of a sharded campaign
+(:func:`repro.experiments.runner.run_campaign`) into the same Table I/II
+builders *without re-running any cell*: shards are loaded lazily into the
+``RunMap`` layout the builders consume, the comparison target defaults to
+MOELA when present (first completed algorithm otherwise), and cells missing
+either side of a comparison are skipped instead of failing the whole table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from pathlib import Path
+from typing import Any, Callable
 
 import numpy as np
 
@@ -22,7 +32,7 @@ from repro.experiments.metrics import (
     phv_gain,
     speedup_factor,
 )
-from repro.experiments.runner import compare_algorithms
+from repro.experiments.runner import compare_algorithms, load_campaign_results, load_manifest
 from repro.moo.result import OptimizationResult
 from repro.simulation.simulator import NocSimulator
 from repro.workloads.registry import get_workload
@@ -114,6 +124,66 @@ def run_all_comparisons(
 
 
 # ---------------------------------------------------------------------- #
+# Generic comparison builder shared by the table builders and the
+# campaign-shard aggregation path.
+# ---------------------------------------------------------------------- #
+def build_comparison_table(
+    runs: RunMap,
+    name: str,
+    value_fn: Callable[[dict[str, OptimizationResult], str, str], float],
+    target: str = "MOELA",
+    baselines: tuple[str, ...] = BASELINES,
+    applications: "tuple[str, ...] | None" = None,
+    objective_counts: "tuple[int, ...] | None" = None,
+    strict: bool = True,
+) -> TableResult:
+    """Build one comparison table from a run map.
+
+    ``value_fn(results, baseline, target)`` computes one cell.  With
+    ``strict=True`` (the experiment-driven builders) a run map missing the
+    target or a baseline raises ``KeyError``, surfacing a misconfigured run;
+    ``strict=False`` (the campaign-shard aggregation path) skips such cells
+    instead, so a partially completed campaign still renders every
+    comparable cell.
+    """
+    if applications is None:
+        applications = tuple(dict.fromkeys(application for application, _ in runs))
+    if objective_counts is None:
+        objective_counts = tuple(sorted({objectives for _, objectives in runs}))
+    table = TableResult(name=name)
+    for baseline in baselines:
+        for num_objectives in objective_counts:
+            for application in applications:
+                key = (application, num_objectives)
+                results = runs.get(key)
+                if results is None or target not in results or baseline not in results:
+                    if strict:
+                        if results is None:
+                            raise KeyError(key)
+                        missing = target if target not in results else baseline
+                        raise KeyError(f"run map has no {missing!r} result for cell {key}")
+                    continue
+                value = value_fn(results, baseline, target)
+                table.cells.append(
+                    ComparisonCell(application, baseline, num_objectives, value)
+                )
+    return table
+
+
+def _speedup_value(measure: str) -> Callable[[dict[str, OptimizationResult], str, str], float]:
+    def value_fn(results: dict[str, OptimizationResult], baseline: str, target: str) -> float:
+        reference = common_reference_point(list(results.values()))
+        return speedup_factor(results[baseline], results[target], reference, measure=measure)
+
+    return value_fn
+
+
+def _phv_gain_value(results: dict[str, OptimizationResult], baseline: str, target: str) -> float:
+    reference = common_reference_point(list(results.values()))
+    return 100.0 * phv_gain(results[target], results[baseline], reference)
+
+
+# ---------------------------------------------------------------------- #
 # Table I — speed-up of MOELA over the baselines
 # ---------------------------------------------------------------------- #
 def build_table1(
@@ -123,19 +193,13 @@ def build_table1(
 ) -> TableResult:
     """Table I: speed-up factor of MOELA vs MOEA/D and MOOS per app and scenario."""
     runs = runs if runs is not None else run_all_comparisons(experiment)
-    table = TableResult(name="Table I: speed-up of MOELA")
-    for baseline in BASELINES:
-        for num_objectives in experiment.objective_counts:
-            for application in experiment.applications:
-                results = runs[(application, num_objectives)]
-                reference = common_reference_point(list(results.values()))
-                value = speedup_factor(
-                    results[baseline], results["MOELA"], reference, measure=measure
-                )
-                table.cells.append(
-                    ComparisonCell(application, baseline, num_objectives, value)
-                )
-    return table
+    return build_comparison_table(
+        runs,
+        name="Table I: speed-up of MOELA",
+        value_fn=_speedup_value(measure),
+        applications=experiment.applications,
+        objective_counts=experiment.objective_counts,
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -144,17 +208,106 @@ def build_table1(
 def build_table2(experiment: ExperimentConfig, runs: RunMap | None = None) -> TableResult:
     """Table II: PHV gain (%) of MOELA vs MOEA/D and MOOS at the stop budget."""
     runs = runs if runs is not None else run_all_comparisons(experiment)
-    table = TableResult(name="Table II: PHV gain of MOELA (%)")
-    for baseline in BASELINES:
-        for num_objectives in experiment.objective_counts:
-            for application in experiment.applications:
-                results = runs[(application, num_objectives)]
-                reference = common_reference_point(list(results.values()))
-                value = 100.0 * phv_gain(results["MOELA"], results[baseline], reference)
-                table.cells.append(
-                    ComparisonCell(application, baseline, num_objectives, value)
-                )
-    return table
+    return build_comparison_table(
+        runs,
+        name="Table II: PHV gain of MOELA (%)",
+        value_fn=_phv_gain_value,
+        applications=experiment.applications,
+        objective_counts=experiment.objective_counts,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Campaign-shard aggregation (tables without re-running anything)
+# ---------------------------------------------------------------------- #
+@dataclass
+class CampaignAggregate:
+    """Finished campaign shards folded into the table-builder layout.
+
+    ``runs`` holds one ``{algorithm: result}`` map per completed
+    ``(application, num_objectives)`` cell group; ``target`` is the algorithm
+    the tables compare *to* (MOELA when the campaign ran it) and
+    ``baselines`` everything else, in completion order.
+    """
+
+    output_dir: Path
+    runs: RunMap
+    algorithms: tuple[str, ...]
+    applications: tuple[str, ...]
+    objective_counts: tuple[int, ...]
+    routing_cache: "dict[str, Any] | None" = None
+
+    @property
+    def target(self) -> str:
+        """The comparison target: MOELA when present, else the first algorithm."""
+        if not self.algorithms:
+            raise ValueError(f"no completed shards found under {self.output_dir}")
+        return "MOELA" if "MOELA" in self.algorithms else self.algorithms[0]
+
+    @property
+    def baselines(self) -> tuple[str, ...]:
+        """Every completed algorithm except the comparison target."""
+        target = self.target
+        return tuple(a for a in self.algorithms if a != target)
+
+    def table1(self, measure: str = "evaluations") -> TableResult:
+        """Table I (speed-up of the target over each baseline) from the shards."""
+        return build_comparison_table(
+            self.runs,
+            name=f"Table I: speed-up of {self.target}",
+            value_fn=_speedup_value(measure),
+            target=self.target,
+            baselines=self.baselines,
+            applications=self.applications,
+            objective_counts=self.objective_counts,
+            strict=False,
+        )
+
+    def table2(self) -> TableResult:
+        """Table II (PHV gain of the target over each baseline) from the shards."""
+        return build_comparison_table(
+            self.runs,
+            name=f"Table II: PHV gain of {self.target} (%)",
+            value_fn=_phv_gain_value,
+            target=self.target,
+            baselines=self.baselines,
+            applications=self.applications,
+            objective_counts=self.objective_counts,
+            strict=False,
+        )
+
+
+def aggregate_campaign(output_dir: "str | Path") -> CampaignAggregate:
+    """Fold a campaign directory's finished shards into the table builders.
+
+    Loads every completed shard once (lazily, one at a time), groups results
+    by ``(application, num_objectives)`` and returns a
+    :class:`CampaignAggregate` whose :meth:`~CampaignAggregate.table1` /
+    :meth:`~CampaignAggregate.table2` render the paper tables from the stored
+    histories — no cell is ever re-run.
+    """
+    output_dir = Path(output_dir)
+    runs: RunMap = {}
+    algorithms: list[str] = []
+    applications: list[str] = []
+    objective_counts: list[int] = []
+    for cell, result in load_campaign_results(output_dir):
+        runs.setdefault((cell.application, cell.num_objectives), {})[cell.algorithm] = result
+        if cell.algorithm not in algorithms:
+            algorithms.append(cell.algorithm)
+        if cell.application not in applications:
+            applications.append(cell.application)
+        if cell.num_objectives not in objective_counts:
+            objective_counts.append(cell.num_objectives)
+    manifest = load_manifest(output_dir)
+    return CampaignAggregate(
+        output_dir=output_dir,
+        runs=runs,
+        algorithms=tuple(algorithms),
+        applications=tuple(applications),
+        objective_counts=tuple(sorted(objective_counts)),
+        routing_cache=manifest.get("routing_cache"),
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -189,4 +189,10 @@ class PopulationOptimizer:
         )
         result.metadata["archive_designs"] = self.archive.designs
         result.metadata["archive_objectives"] = self.archive.objectives
+        # Thread the problem's routing-cache counters (RoutingEngine hits /
+        # misses / incremental repairs) into the result so campaign shards can
+        # record them without holding on to the problem instance.
+        stats_fn = getattr(self.problem, "routing_cache_stats", None)
+        if callable(stats_fn):
+            result.metadata["routing_cache"] = stats_fn()
         return result

@@ -1,12 +1,13 @@
 """3D NoC platform model: tiles, links, designs, constraints, routing and moves."""
 
-from repro.noc.design import NocDesign
+from repro.noc.design import MoveDelta, NocDesign, annotate_move, move_delta_of
 from repro.noc.geometry import Grid3D, TileCoord
 from repro.noc.links import Link, LinkKind, candidate_planar_links, candidate_vertical_links
 from repro.noc.mesh import mesh_design, mesh_links
 from repro.noc.platform import PEType, PlatformConfig
 from repro.noc.constraints import ConstraintChecker, ConstraintViolation, random_design
 from repro.noc.routing import RoutingTables
+from repro.noc.routing_engine import RoutingEngine
 
 __all__ = [
     "ConstraintChecker",
@@ -14,14 +15,18 @@ __all__ = [
     "Grid3D",
     "Link",
     "LinkKind",
+    "MoveDelta",
     "NocDesign",
     "PEType",
     "PlatformConfig",
+    "RoutingEngine",
     "RoutingTables",
     "TileCoord",
+    "annotate_move",
     "candidate_planar_links",
     "candidate_vertical_links",
     "mesh_design",
     "mesh_links",
+    "move_delta_of",
     "random_design",
 ]

@@ -19,7 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.noc.constraints import repair_links
-from repro.noc.design import NocDesign
+from repro.noc.design import MoveDelta, NocDesign, annotate_move
 from repro.noc.links import LinkKind, link_kind
 from repro.noc.platform import PEType, PlatformConfig
 from repro.utils.rng import ensure_rng
@@ -121,9 +121,18 @@ def crossover_links(
 def crossover(
     parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng=None
 ) -> NocDesign:
-    """Full crossover: recombine placements and links, then repair to feasibility."""
+    """Full crossover: recombine placements and links, then repair to feasibility.
+
+    The offspring is annotated with a :class:`~repro.noc.design.MoveDelta`
+    against whichever parent its link set is closer to, so the routing engine
+    can repair that parent's cached tables instead of rebuilding from scratch.
+    """
     rng = ensure_rng(rng)
     placement = crossover_placement(parent_a, parent_b, config, rng)
     links = crossover_links(parent_a, parent_b, config, rng)
-    child = NocDesign(placement=placement, links=links)
-    return repair_links(child, config, rng)
+    child = repair_links(NocDesign(placement=placement, links=links), config, rng)
+    child_links = frozenset(child.links)
+    diff_a = len(child_links.symmetric_difference(parent_a.links))
+    diff_b = len(child_links.symmetric_difference(parent_b.links))
+    closest = parent_a if diff_a <= diff_b else parent_b
+    return annotate_move(child, MoveDelta.between(closest, child, "crossover"))

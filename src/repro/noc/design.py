@@ -11,6 +11,19 @@ the baseline optimisers.  It consists of
 Designs are immutable value objects: move operators and crossover return new
 designs.  They hash on their canonical encoding so evaluators can cache
 objective vectors.
+
+Move provenance
+---------------
+Move operators and crossover additionally *annotate* the designs they return
+with a :class:`MoveDelta` — a structured record of how the child differs from
+its parent (move kind, links added/removed, tiles swapped, and the parent's
+link set).  The annotation rides outside the design's identity: it does not
+participate in equality, hashing or serialisation, so two designs reached by
+different moves still compare equal.  The routing engine
+(:class:`repro.noc.routing_engine.RoutingEngine`) consumes the annotation as a
+*hint* — placement-only deltas reuse the parent's routing tables wholesale and
+link deltas trigger an incremental repair — and never depends on it for
+correctness: a missing or stale delta only costs a fresh table build.
 """
 
 from __future__ import annotations
@@ -135,6 +148,67 @@ class NocDesign:
 
     def __repr__(self) -> str:
         return f"NocDesign(num_tiles={self.num_tiles}, num_links={self.num_links})"
+
+
+@dataclass(frozen=True)
+class MoveDelta:
+    """Structured difference between a child design and the parent it came from.
+
+    ``parent_links`` is the parent's canonical (sorted) link tuple — exactly
+    the topology key the routing engine caches tables under, so a consumer can
+    look the parent's tables up without holding the parent design alive.
+    """
+
+    kind: str
+    links_added: tuple[Link, ...] = ()
+    links_removed: tuple[Link, ...] = ()
+    tiles_swapped: "tuple[int, int] | None" = None
+    parent_links: tuple[Link, ...] = ()
+
+    @property
+    def placement_only(self) -> bool:
+        """True when the move left the link set untouched (routing reusable as-is)."""
+        return not self.links_added and not self.links_removed
+
+    @property
+    def num_link_changes(self) -> int:
+        """Total number of links added plus removed."""
+        return len(self.links_added) + len(self.links_removed)
+
+    @classmethod
+    def between(cls, parent: "NocDesign", child: "NocDesign", kind: str) -> "MoveDelta":
+        """Compute the link-set delta between two designs (for composite moves).
+
+        Used by multi-move mutation and crossover, where the child is not one
+        elementary move away from the parent: the link differences are derived
+        from the encodings instead of accumulated move by move.
+        """
+        parent_set = frozenset(parent.links)
+        child_set = frozenset(child.links)
+        return cls(
+            kind=kind,
+            links_added=tuple(sorted(child_set - parent_set)),
+            links_removed=tuple(sorted(parent_set - child_set)),
+            tiles_swapped=None,
+            parent_links=parent.links,
+        )
+
+
+def annotate_move(child: NocDesign, delta: MoveDelta) -> NocDesign:
+    """Attach a :class:`MoveDelta` to a freshly created design and return it.
+
+    The annotation is stored outside the frozen dataclass fields, so identity
+    (equality, hashing, ``key()``) and JSON serialisation are unaffected.
+    Only annotate designs you just created — annotating a shared design would
+    overwrite its provenance.
+    """
+    object.__setattr__(child, "move_delta", delta)
+    return child
+
+
+def move_delta_of(design: NocDesign) -> "MoveDelta | None":
+    """The :class:`MoveDelta` a move operator attached to ``design``, if any."""
+    return getattr(design, "move_delta", None)
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,13 @@ problem relies on to make single-design perturbations productive:
 
 Each generator yields feasible designs only; infeasible candidates are
 silently skipped.
+
+Every returned design is annotated with a structured
+:class:`~repro.noc.design.MoveDelta` (move kind, links added/removed, tiles
+swapped, parent link set) so downstream consumers — most importantly the
+route cache of :class:`repro.noc.routing_engine.RoutingEngine` — can tell
+placement-only moves (full routing reuse) from link-mutating moves
+(incremental routing repair) without diffing the encodings.
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.noc.constraints import ConstraintChecker, is_connected
-from repro.noc.design import NocDesign
+from repro.noc.design import MoveDelta, NocDesign, annotate_move
 from repro.noc.links import (
     Link,
     LinkKind,
@@ -147,7 +154,10 @@ class MoveGenerator:
                 continue
             placement = list(design.placement)
             placement[t1], placement[t2] = placement[t2], placement[t1]
-            return NocDesign(placement=tuple(placement), links=design.links)
+            return annotate_move(
+                NocDesign(placement=tuple(placement), links=design.links),
+                MoveDelta(kind="swap_pe", tiles_swapped=(t1, t2), parent_links=design.links),
+            )
         return None
 
     def swap_llc(self, design: NocDesign, rng=None) -> NocDesign | None:
@@ -166,7 +176,10 @@ class MoveGenerator:
         t2 = edge_non_llc[int(rng.integers(len(edge_non_llc)))]
         placement = list(design.placement)
         placement[t1], placement[t2] = placement[t2], placement[t1]
-        return NocDesign(placement=tuple(placement), links=design.links)
+        return annotate_move(
+            NocDesign(placement=tuple(placement), links=design.links),
+            MoveDelta(kind="swap_llc", tiles_swapped=(t1, t2), parent_links=design.links),
+        )
 
     def rewire_link(self, design: NocDesign, rng=None) -> NocDesign | None:
         """Replace one link with a different feasible link of the same kind."""
@@ -200,7 +213,15 @@ class MoveGenerator:
                 new_links.add(replacement)
                 candidate = NocDesign(placement=design.placement, links=tuple(new_links))
                 if is_connected(candidate):
-                    return candidate
+                    return annotate_move(
+                        candidate,
+                        MoveDelta(
+                            kind="rewire_link",
+                            links_added=(replacement,),
+                            links_removed=(victim,),
+                            parent_links=design.links,
+                        ),
+                    )
         return None
 
     def add_remove_link_pair(self, design: NocDesign, rng=None) -> NocDesign | None:
@@ -249,7 +270,14 @@ class MoveGenerator:
                     continue
                 placement = list(design.placement)
                 placement[target], placement[moving_tile] = placement[moving_tile], placement[target]
-                return NocDesign(placement=tuple(placement), links=design.links)
+                return annotate_move(
+                    NocDesign(placement=tuple(placement), links=design.links),
+                    MoveDelta(
+                        kind="pull_communicating_pair",
+                        tiles_swapped=(target, moving_tile),
+                        parent_links=design.links,
+                    ),
+                )
             pair = self._sample_traffic_pair(rng)
             if pair is None:
                 return None
@@ -288,15 +316,38 @@ class MoveGenerator:
                 new_links.add(new_link)
                 candidate = NocDesign(placement=design.placement, links=tuple(new_links))
                 if is_connected(candidate):
-                    return candidate
+                    return annotate_move(
+                        candidate,
+                        MoveDelta(
+                            kind="rewire_link_toward_traffic",
+                            links_added=(new_link,),
+                            links_removed=(victim,),
+                            parent_links=design.links,
+                        ),
+                    )
         return None
 
 
-def mutate(design: NocDesign, config: PlatformConfig, rng=None, strength: int = 1) -> NocDesign:
-    """Apply ``strength`` random moves to ``design`` (the EA mutation operator)."""
+def mutate(
+    design: NocDesign,
+    config: PlatformConfig,
+    rng=None,
+    strength: int = 1,
+    generator: "MoveGenerator | None" = None,
+) -> NocDesign:
+    """Apply ``strength`` random moves to ``design`` (the EA mutation operator).
+
+    Multi-move chains are re-annotated with one composite delta against the
+    *original* design, so the routing engine repairs from a topology it has
+    actually cached rather than from an unseen intermediate design.  Pass a
+    ``generator`` to reuse a prepared :class:`MoveGenerator` (e.g. one with
+    traffic-aware moves enabled) instead of building a blind one per call.
+    """
     rng = ensure_rng(rng)
-    generator = MoveGenerator(config)
+    generator = generator if generator is not None else MoveGenerator(config)
     current = design
     for _ in range(max(1, strength)):
         current = generator.random_neighbor(current, rng)
+    if current is not design and max(1, strength) > 1:
+        current = annotate_move(current, MoveDelta.between(design, current, "mutate"))
     return current

@@ -3,11 +3,32 @@
 All objectives of Section III need, for every communicating tile pair
 ``(i, j)``, the set of links (``p_ijk``) and routers (``r_ijk``) used by the
 route.  We use deterministic minimal routing: paths minimise hop count, with
-ties broken by physical path length and then lexicographically, so a design
-always maps to the same routes (and therefore the same objective vector).
+ties broken by physical path length and then lexicographically (the
+smallest-id predecessor wins at every step), so a design always maps to the
+same routes (and therefore the same objective vector).
 
-Route computation uses ``scipy.sparse.csgraph`` for the all-pairs search and
-is cached per design by the objective evaluator.
+Construction vs queries
+-----------------------
+Table construction is split from path queries so tables can be shared
+read-only across designs and repaired incrementally:
+
+* ``scipy.sparse.csgraph`` computes only the all-pairs *distance* matrix;
+* predecessors are then derived canonically from the distances
+  (:meth:`RoutingTables._canonical_predecessors`): the predecessor of ``v`` on
+  the route from ``i`` is the smallest-id neighbour ``u`` with
+  ``dist(i, u) + w(u, v) == dist(i, v)``.  Link weights are
+  ``1 + epsilon * length`` with integer lengths, so distinct
+  ``(hops, length)`` combinations differ by at least ``epsilon`` and the tie
+  test is a pure function of the distance matrix — immune to heap-order
+  artefacts of the Dijkstra implementation.  That property is what makes
+  :meth:`RoutingTables.incremental_update` exact: sources whose route tree
+  does not cross a changed link provably keep identical routes, so only the
+  affected sources re-run Dijkstra.
+
+Tables depend only on the *link set* (plus the grid), never on the PE
+placement, which is why :class:`repro.noc.routing_engine.RoutingEngine` can
+key a cross-design route cache on the link tuple alone.
+:meth:`RoutingTables.from_links` builds tables without a design object.
 
 Batch path tables
 -----------------
@@ -36,17 +57,22 @@ Minimal routes are simple paths, so every incidence entry is 0/1 and
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 import numpy as np
 from scipy.sparse import csr_matrix
 from scipy.sparse.csgraph import shortest_path
 
 from repro.noc.design import NocDesign
 from repro.noc.geometry import Grid3D
-from repro.noc.links import link_lengths_array
+from repro.noc.links import Link, link_lengths_array
+
+#: scipy's "no predecessor" sentinel (source itself or unreachable pair).
+NO_PREDECESSOR = -9999
 
 
 class RoutingTables:
-    """All-pairs deterministic shortest-path routes for one design.
+    """All-pairs deterministic shortest-path routes for one link placement.
 
     Parameters
     ----------
@@ -59,36 +85,78 @@ class RoutingTables:
     -----
     The edge weight used for the search is ``1 + epsilon * length`` so that
     hop count dominates and physical length breaks ties; ``epsilon`` is small
-    enough that no sum of length terms can outweigh a single hop.
+    enough that no sum of length terms can outweigh a single hop.  Tables are
+    a function of ``(links, num_tiles, grid)`` only — the placement never
+    enters — so one instance can serve every design sharing a link set.
     """
 
     _LENGTH_EPSILON = 1e-3
+    #: Distances are ``hops + epsilon * length`` with integer hops/lengths, so
+    #: genuinely different values are at least ``epsilon`` apart (up to ~1e-13
+    #: of float accumulation noise); anything closer than this tolerance is
+    #: the same value computed along a different equal-cost path.
+    _TIE_TOLERANCE = 1e-6
 
     def __init__(self, design: NocDesign, grid: Grid3D):
-        self.design = design
+        self._build(design.links, design.num_tiles, grid)
+
+    @classmethod
+    def from_links(
+        cls, links: "Sequence[Link] | Iterable[Link]", num_tiles: int, grid: Grid3D
+    ) -> "RoutingTables":
+        """Build tables directly from a link set (no design object needed)."""
+        tables = object.__new__(cls)
+        tables._build(tuple(sorted(links)), int(num_tiles), grid)
+        return tables
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def _build(self, links: tuple[Link, ...], num_tiles: int, grid: Grid3D) -> None:
+        """Full fresh build: graph setup, all-pairs Dijkstra, canonical routes."""
+        self._setup_static(links, num_tiles, grid)
+        self._distance = shortest_path(self._graph, method="D", directed=False)
+        self._predecessors = self._canonical_predecessors(self._distance)
+        self._reset_lazy()
+
+    def _setup_static(self, links: tuple[Link, ...], num_tiles: int, grid: Grid3D) -> None:
+        """Set up everything that derives directly from the link set."""
+        self.links = links
         self.grid = grid
-        self.num_tiles = design.num_tiles
-        num_links = design.num_links
-        ends_a = np.fromiter((link.a for link in design.links), dtype=np.int64, count=num_links)
-        ends_b = np.fromiter((link.b for link in design.links), dtype=np.int64, count=num_links)
-        self.link_index: dict[tuple[int, int], int] = {}
-        for idx, (a, b) in enumerate(zip(ends_a.tolist(), ends_b.tolist())):
-            self.link_index[(a, b)] = idx
-            self.link_index[(b, a)] = idx
-        self.link_lengths = link_lengths_array(design.links, grid)
-        weights = 1.0 + self._LENGTH_EPSILON * self.link_lengths
-        graph = csr_matrix(
-            (
-                np.concatenate((weights, weights)),
-                (np.concatenate((ends_a, ends_b)), np.concatenate((ends_b, ends_a))),
-            ),
-            shape=(self.num_tiles, self.num_tiles),
+        self.num_tiles = num_tiles
+        self.num_links = len(links)
+        ends_a = np.fromiter((link.a for link in links), dtype=np.int64, count=self.num_links)
+        ends_b = np.fromiter((link.b for link in links), dtype=np.int64, count=self.num_links)
+        self._ends_a = ends_a
+        self._ends_b = ends_b
+        # Links are lexicographically sorted and a*num_tiles+b is monotone in
+        # (a, b), so these keys are ascending — searchsorted-friendly.
+        self._link_keys = ends_a * np.int64(num_tiles) + ends_b
+        self._link_index: dict[tuple[int, int], int] | None = None
+        self.link_lengths = link_lengths_array(links, grid)
+        self._weights = 1.0 + self._LENGTH_EPSILON * self.link_lengths
+        # Directed edge lists (both orientations) shared by the graph and the
+        # canonical predecessor derivation.
+        self._edge_u = np.concatenate((ends_a, ends_b))
+        self._edge_v = np.concatenate((ends_b, ends_a))
+        self._edge_w = np.concatenate((self._weights, self._weights))
+        self._graph = csr_matrix(
+            (self._edge_w, (self._edge_u, self._edge_v)),
+            shape=(num_tiles, num_tiles),
         )
-        dist, predecessors = shortest_path(
-            graph, method="D", directed=False, return_predecessors=True
-        )
-        self._distance = dist
-        self._predecessors = predecessors
+
+    @property
+    def link_index(self) -> dict[tuple[int, int], int]:
+        """Endpoint pair -> link index lookup (built lazily, query path only)."""
+        if self._link_index is None:
+            index: dict[tuple[int, int], int] = {}
+            for idx, (a, b) in enumerate(zip(self._ends_a.tolist(), self._ends_b.tolist())):
+                index[(a, b)] = idx
+                index[(b, a)] = idx
+            self._link_index = index
+        return self._link_index
+
+    def _reset_lazy(self) -> None:
         self._path_cache: dict[tuple[int, int], tuple[list[int], list[int]]] = {}
         # Lazily built batch structures (see _build_pair_tables).
         self._pair_links: csr_matrix | None = None
@@ -96,6 +164,95 @@ class RoutingTables:
         self._pair_hops: np.ndarray | None = None
         self._pair_lengths: np.ndarray | None = None
         self._reachable: np.ndarray | None = None
+        self._edge_link: np.ndarray | None = None
+
+    def _canonical_predecessors(self, distance_rows: np.ndarray) -> np.ndarray:
+        """Derive lexicographic-minimal predecessors from a distance block.
+
+        For every (source row, node ``v``) the predecessor is the smallest-id
+        neighbour ``u`` of ``v`` with ``dist(u) + w(u, v) == dist(v)`` (within
+        the tie tolerance).  Because edge weights strictly decrease along the
+        chain, the walk always terminates at the source.  The result depends
+        only on the distances and the graph — not on how Dijkstra happened to
+        visit equal-cost alternatives — which makes routes reproducible across
+        fresh builds and incremental repairs.
+        """
+        num_sources = distance_rows.shape[0]
+        num_tiles = self.num_tiles
+        predecessors = np.full((num_sources, num_tiles), num_tiles, dtype=np.int64)
+        if self.num_links:
+            # Sort directed edges by head node so a single reduceat computes,
+            # per (source, head), the minimum tail satisfying the tie test.
+            order = np.argsort(self._edge_v, kind="stable")
+            tails = self._edge_u[order]
+            heads = self._edge_v[order]
+            weights = self._edge_w[order]
+            # inf - inf (both endpoints unreachable) yields nan, which the
+            # comparison correctly rejects — suppress the noise warning.
+            with np.errstate(invalid="ignore"):
+                candidate = distance_rows[:, tails] + weights[None, :]
+                on_route = np.abs(candidate - distance_rows[:, heads]) <= self._TIE_TOLERANCE
+            tail_ids = np.where(on_route, tails[None, :], num_tiles)
+            starts = np.flatnonzero(np.r_[True, heads[1:] != heads[:-1]])
+            minima = np.minimum.reduceat(tail_ids, starts, axis=1)
+            predecessors[:, heads[starts]] = minima
+        predecessors[predecessors == num_tiles] = NO_PREDECESSOR
+        return predecessors
+
+    def incremental_update(self, new_links: "Sequence[Link] | Iterable[Link]") -> "RoutingTables":
+        """New tables for a changed link set, re-routing only affected sources.
+
+        A source must be re-run when its canonical route tree crosses a
+        removed link, or when an added link strictly improves — or ties —
+        the distance to one of its endpoints (a tie can change the canonical
+        predecessor choice).  Every other source provably keeps identical
+        distances and canonical routes, so its rows are copied.  Cached
+        tables stay untouched ("repair" returns a new instance), because the
+        parent's entry remains live under its own topology key.
+
+        The result is bit-identical (routes, hops, incidence matrices) to a
+        fresh :class:`RoutingTables` build for ``new_links``.
+        """
+        updated = object.__new__(RoutingTables)
+        updated._setup_static(tuple(sorted(new_links)), self.num_tiles, self.grid)
+
+        removed = np.isin(self._link_keys, updated._link_keys, invert=True)
+        added = np.isin(updated._link_keys, self._link_keys, invert=True)
+        affected = np.zeros(self.num_tiles, dtype=bool)
+        for idx in np.flatnonzero(removed):  # removed: sources whose tree used it
+            a, b = int(self._ends_a[idx]), int(self._ends_b[idx])
+            affected |= self._predecessors[:, b] == a
+            affected |= self._predecessors[:, a] == b
+        for idx in np.flatnonzero(added):  # added: sources it improves or ties
+            a, b = int(updated._ends_a[idx]), int(updated._ends_b[idx])
+            weight = float(updated._weights[idx])
+            dist_a = self._distance[:, a]
+            dist_b = self._distance[:, b]
+            relevant = (dist_a + weight <= dist_b + self._TIE_TOLERANCE) | (
+                dist_b + weight <= dist_a + self._TIE_TOLERANCE
+            )
+            # inf <= inf is a numpy truth but a no-op for routing: the new
+            # link cannot connect tiles that are both unreachable.
+            relevant &= ~(np.isinf(dist_a) & np.isinf(dist_b))
+            affected |= relevant
+
+        distance = self._distance.copy()
+        predecessors = self._predecessors.copy()
+        rows = np.flatnonzero(affected)
+        if rows.size:
+            distance[rows] = shortest_path(
+                updated._graph, method="D", directed=False, indices=rows
+            )
+            predecessors[rows] = updated._canonical_predecessors(distance[rows])
+        updated._distance = distance
+        updated._predecessors = predecessors
+        updated._reset_lazy()
+        # Adopting the parent's batch tables only pays when few sources were
+        # re-routed; past that, the lazy full sweep is just as fast and the
+        # adoption bookkeeping (row masking, column remap) is pure overhead.
+        if rows.size <= 0.25 * self.num_tiles:
+            updated._adopt_pair_tables(self, affected)
+        return updated
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -185,58 +342,148 @@ class RoutingTables:
         return self.reachable_pairs().reshape(self.num_tiles, self.num_tiles)
 
     def _build_pair_tables(self) -> None:
-        """Reconstruct every route at once from the predecessor matrix.
+        """Reconstruct every route at once from the predecessor matrix."""
+        entries = self._pair_table_entries(np.arange(self.num_tiles))
+        self._assemble_pair_tables(*entries)
+
+    def _edge_link_lookup(self) -> np.ndarray:
+        """Dense edge -> link-index lookup (num_tiles is at most a few dozen)."""
+        if self._edge_link is None:
+            edge_link = np.full((self.num_tiles, self.num_tiles), -1, dtype=np.int64)
+            indices = np.arange(self.num_links, dtype=np.int64)
+            edge_link[self._ends_a, self._ends_b] = indices
+            edge_link[self._ends_b, self._ends_a] = indices
+            self._edge_link = edge_link
+        return self._edge_link
+
+    def _pair_table_entries(
+        self, sources: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Route reconstruction sweep for every pair whose source is in ``sources``.
 
         Walks all destination-to-source chains simultaneously: iteration ``s``
         advances every still-active pair one predecessor step, emitting the
         traversed ``(prev, cur)`` edge and the visited router.  The loop runs
         ``max_ij h_ij`` times (the network diameter), with all per-pair work
-        vectorized.
+        vectorized.  Returns ``(link_row, link_col, tile_row, tile_col)``
+        with *global* flat pair rows (``src * num_tiles + dst``), so callers
+        can mix swept entries with rows adopted from a parent table.
         """
         num_tiles = self.num_tiles
-        num_links = self.design.num_links
-        num_pairs = num_tiles * num_tiles
-        # Dense edge -> link-index lookup (num_tiles is at most a few dozen).
-        edge_link = np.full((num_tiles, num_tiles), -1, dtype=np.int64)
-        for (a, b), idx in self.link_index.items():
-            edge_link[a, b] = idx
-        src = np.repeat(np.arange(num_tiles), num_tiles)
-        dst = np.tile(np.arange(num_tiles), num_tiles)
-        reachable = np.isfinite(self._distance).ravel()
+        sources = np.asarray(sources, dtype=np.int64)
+        src = np.repeat(sources, num_tiles)
+        dst = np.tile(np.arange(num_tiles), len(sources))
+        rows = src * num_tiles + dst
+        reachable = np.isfinite(self._distance[src, dst])
+        edge_link = self._edge_link_lookup()
 
-        tile_rows = [np.nonzero(reachable)[0]]
+        tile_rows = [rows[reachable]]
         tile_cols = [dst[reachable]]
         link_rows: list[np.ndarray] = []
         link_cols: list[np.ndarray] = []
         cur = dst.copy()
         active = np.nonzero(reachable & (src != dst))[0]
         while active.size:
-            prev = self._predecessors[src[active], cur[active]].astype(np.int64)
-            link_rows.append(active)
+            prev = self._predecessors[src[active], cur[active]]
+            link_rows.append(rows[active])
             link_cols.append(edge_link[prev, cur[active]])
-            tile_rows.append(active)
+            tile_rows.append(rows[active])
             tile_cols.append(prev)
             cur[active] = prev
             active = active[prev != src[active]]
 
-        link_row = np.concatenate(link_rows) if link_rows else np.empty(0, dtype=np.int64)
-        link_col = np.concatenate(link_cols) if link_cols else np.empty(0, dtype=np.int64)
-        self._pair_links = csr_matrix(
-            (np.ones(link_row.size, dtype=np.float64), (link_row, link_col)),
-            shape=(num_pairs, num_links),
+        empty = np.empty(0, dtype=np.int64)
+        link_row = np.concatenate(link_rows) if link_rows else empty
+        link_col = np.concatenate(link_cols) if link_cols else empty
+        return link_row, link_col, np.concatenate(tile_rows), np.concatenate(tile_cols)
+
+    @staticmethod
+    def _canonical_csr(
+        rows: np.ndarray, cols: np.ndarray, num_rows: int, num_cols: int
+    ) -> csr_matrix:
+        """Canonical (row-major, sorted-indices) CSR straight from entry lists.
+
+        Bypasses the COO round trip: one lexsort puts the entries into
+        canonical order, the index pointer comes from a bincount.  Canonical
+        form matters beyond speed — a repaired table and a fresh build hold
+        bit-identical arrays, so sparse products over them sum in the same
+        order and produce bit-identical objective values.
+        """
+        # One combined scalar key sorts rows and columns together (cheaper
+        # than a lexsort plus two gathers at this entry count).
+        key = np.sort(rows * np.int64(num_cols) + cols)
+        sorted_rows = key // num_cols
+        sorted_cols = key % num_cols
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(np.bincount(sorted_rows, minlength=num_rows), out=indptr[1:])
+        return csr_matrix(
+            (np.ones(sorted_cols.size, dtype=np.float64), sorted_cols, indptr),
+            shape=(num_rows, num_cols),
         )
-        tile_row = np.concatenate(tile_rows)
-        tile_col = np.concatenate(tile_cols)
-        self._pair_tiles = csr_matrix(
-            (np.ones(tile_row.size, dtype=np.float64), (tile_row, tile_col)),
-            shape=(num_pairs, num_tiles),
-        )
-        hops = np.zeros(num_pairs, dtype=np.int64)
-        np.add.at(hops, link_row, 1)
-        self._pair_hops = hops
+
+    def _assemble_pair_tables(
+        self,
+        link_row: np.ndarray,
+        link_col: np.ndarray,
+        tile_row: np.ndarray,
+        tile_col: np.ndarray,
+    ) -> None:
+        """Assemble the batch structures from (pair row, column) entry lists."""
+        num_pairs = self.num_tiles * self.num_tiles
+        self._pair_links = self._canonical_csr(link_row, link_col, num_pairs, self.num_links)
+        self._pair_tiles = self._canonical_csr(tile_row, tile_col, num_pairs, self.num_tiles)
+        # Minimal routes are simple paths, so h_ij is exactly the number of
+        # incidence entries in the pair's row.
+        self._pair_hops = np.diff(self._pair_links.indptr)
         self._pair_lengths = self._pair_links @ self.link_lengths
         self._pair_hops.setflags(write=False)
         self._pair_lengths.setflags(write=False)
+
+    def _adopt_pair_tables(self, parent: "RoutingTables", affected: np.ndarray) -> None:
+        """Repair the batch structures from a parent's, re-sweeping only affected rows.
+
+        An unaffected source keeps its canonical routes, and those routes
+        never traverse a removed link, so its incidence entries survive with
+        the link columns remapped to the new link indexing.  Affected sources
+        are re-swept from the repaired predecessors.  No-op (tables stay
+        lazy) when the parent never built its batch structures.
+        """
+        if parent._pair_links is None:
+            return
+        num_tiles = self.num_tiles
+        # Both key arrays are ascending, so surviving parent links map to new
+        # indices with one searchsorted (no per-link Python lookups).
+        if self.num_links:
+            positions = np.searchsorted(self._link_keys, parent._link_keys)
+            positions = np.minimum(positions, self.num_links - 1)
+            old_to_new = np.where(self._link_keys[positions] == parent._link_keys, positions, -1)
+        else:
+            old_to_new = np.full(parent.num_links, -1, dtype=np.int64)
+        keep = ~affected
+
+        def kept_entries(matrix: csr_matrix) -> tuple[np.ndarray, np.ndarray]:
+            # Expand the CSR row pointer instead of a COO round trip.
+            rows = np.repeat(
+                np.arange(matrix.shape[0], dtype=np.int64), np.diff(matrix.indptr)
+            )
+            mask = keep[rows // num_tiles]
+            return rows[mask], matrix.indices[mask].astype(np.int64)
+
+        kept_link_row, kept_link_old_col = kept_entries(parent._pair_links)
+        kept_link_col = old_to_new[kept_link_old_col]
+        assert kept_link_col.size == 0 or kept_link_col.min() >= 0, (
+            "route of an unaffected source crossed a removed link"
+        )
+        kept_tile_row, kept_tile_col = kept_entries(parent._pair_tiles)
+        link_row, link_col, tile_row, tile_col = self._pair_table_entries(
+            np.flatnonzero(affected)
+        )
+        self._assemble_pair_tables(
+            np.concatenate([kept_link_row, link_row]),
+            np.concatenate([kept_link_col, link_col]),
+            np.concatenate([kept_tile_row, tile_row]),
+            np.concatenate([kept_tile_col, tile_col]),
+        )
 
     # ------------------------------------------------------------------ #
     # Internals

@@ -4,9 +4,16 @@ The paper evaluates three scenarios (Section V.D): ``3-obj`` uses objectives
 1-3 (traffic mean, traffic variance, CPU-LLC latency), ``4-obj`` adds energy,
 and ``5-obj`` adds the thermal objective.  All objectives are minimised.
 
-Routing tables are computed once per design and shared by all objectives; the
-evaluator memoises complete objective vectors per design (LRU-bounded) and
-counts evaluations so experiments can report search effort.
+Routing tables are shared by all objectives and owned by a single
+:class:`~repro.noc.routing_engine.RoutingEngine` instance per evaluator: the
+engine caches tables across *designs*, keyed on the link set alone, so
+placement-only children reuse their parent's tables wholesale and
+link-mutating children trigger an incremental all-pairs repair.  The
+``routing_cache=False`` escape hatch restores the pre-engine behaviour (one
+fresh table build per computed design).  On top of that topology tier, the
+evaluator memoises complete objective vectors per design key (LRU-bounded)
+and counts evaluations so experiments can report search effort; the engine's
+hit/miss/repair counters are exposed via :meth:`ObjectiveEvaluator.routing_cache_stats`.
 
 Batch evaluation engine
 -----------------------
@@ -36,6 +43,7 @@ import numpy as np
 
 from repro.noc.design import NocDesign
 from repro.noc.routing import RoutingTables
+from repro.noc.routing_engine import RoutingEngine
 from repro.objectives.energy import communication_energy, communication_energy_reference
 from repro.objectives.latency import cpu_llc_latency, cpu_llc_latency_reference
 from repro.objectives.thermal import ThermalModel
@@ -101,9 +109,11 @@ def scenario_for(num_objectives: int) -> ObjectiveScenario:
 _WORKER_EVALUATOR: "ObjectiveEvaluator | None" = None
 
 
-def _init_worker(workload: Workload, scenario: "ObjectiveScenario") -> None:
+def _init_worker(workload: Workload, scenario: "ObjectiveScenario", routing_cache: bool) -> None:
     global _WORKER_EVALUATOR
-    _WORKER_EVALUATOR = ObjectiveEvaluator(workload, scenario, cache_size=0)
+    _WORKER_EVALUATOR = ObjectiveEvaluator(
+        workload, scenario, cache_size=0, routing_cache=routing_cache
+    )
 
 
 def _compute_in_worker(design: NocDesign) -> np.ndarray:
@@ -121,6 +131,15 @@ class ObjectiveEvaluator:
         Which objectives to report (defaults to the 5-objective scenario).
     cache_size:
         Maximum number of memoised designs (0 disables caching).
+    routing_cache:
+        When True (the default) routing tables come from a shared
+        :class:`~repro.noc.routing_engine.RoutingEngine` that caches them
+        across designs by link set and repairs them incrementally for small
+        link deltas.  ``False`` is the escape hatch selecting the historical
+        fresh-build-per-design path; both settings produce bit-identical
+        objective vectors.
+    routing_cache_size:
+        Maximum number of cached topologies in the routing engine.
     """
 
     def __init__(
@@ -128,6 +147,8 @@ class ObjectiveEvaluator:
         workload: Workload,
         scenario: ObjectiveScenario = SCENARIO_5OBJ,
         cache_size: int = 50_000,
+        routing_cache: bool = True,
+        routing_cache_size: int = 256,
     ):
         self.workload = workload
         self.config = workload.config
@@ -137,6 +158,11 @@ class ObjectiveEvaluator:
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._pool: ProcessPoolExecutor | None = None
         self._pool_workers: int | None = None
+        self.routing_engine: RoutingEngine | None = (
+            RoutingEngine(self.config.grid, cache_size=routing_cache_size)
+            if routing_cache
+            else None
+        )
         self.evaluations = 0
         self.cache_hits = 0
 
@@ -243,7 +269,7 @@ class ObjectiveEvaluator:
             self._pool = ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_init_worker,
-                initargs=(self.workload, self.scenario),
+                initargs=(self.workload, self.scenario, self.routing_engine is not None),
             )
             self._pool_workers = max_workers
         return self._pool
@@ -282,9 +308,29 @@ class ObjectiveEvaluator:
             values["thermal"] = self.thermal_model.objective_reference(design, self.workload)
         return np.array([values[name] for name in self.scenario.objectives], dtype=np.float64)
 
+    def routing_cache_stats(self) -> dict[str, "int | float | bool"]:
+        """Routing-engine counter snapshot (hits, misses, incremental repairs).
+
+        With ``routing_cache=False`` (or when misses were computed on the
+        parallel worker pool, whose engines live in the worker processes) the
+        counters stay at zero.
+        """
+        stats: dict[str, "int | float | bool"] = {
+            "enabled": self.routing_engine is not None,
+            "hits": 0,
+            "misses": 0,
+            "incremental_repairs": 0,
+            "requests": 0,
+            "hit_rate": 0.0,
+            "cached_topologies": 0,
+        }
+        if self.routing_engine is not None:
+            stats.update(self.routing_engine.stats())
+        return stats
+
     def full_report(self, design: NocDesign) -> dict[str, float]:
         """All five objective values for a design, regardless of scenario."""
-        routing = RoutingTables(design, self.config.grid)
+        routing = self._routing(design)
         frequencies = self.workload.pair_frequencies(design.placement_array())
         utilization = link_utilizations(design, self.workload, routing, frequencies)
         return {
@@ -299,8 +345,14 @@ class ObjectiveEvaluator:
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _routing(self, design: NocDesign) -> RoutingTables:
+        """Routing tables for a design: engine-cached, or fresh when disabled."""
+        if self.routing_engine is not None:
+            return self.routing_engine.tables(design)
+        return RoutingTables(design, self.config.grid)
+
     def _compute(self, design: NocDesign) -> np.ndarray:
-        routing = RoutingTables(design, self.config.grid)
+        routing = self._routing(design)
         # One pair-frequency gather shared by every objective that needs it.
         frequencies = self.workload.pair_frequencies(design.placement_array())
         needed = set(self.scenario.objectives)
