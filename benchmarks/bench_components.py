@@ -185,6 +185,23 @@ def test_campaign_resume_scan(benchmark, tmp_path):
 BENCH_ROUTING_PATH = Path(__file__).resolve().parent.parent / "BENCH_routing.json"
 
 
+def _update_bench_json(partial: dict) -> None:
+    """Merge a section into ``BENCH_routing.json`` without clobbering the rest.
+
+    The routing-cache bench and the parallel-worker sweep each own different
+    top-level keys of the same trajectory file; merging lets them run in any
+    order (or alone) and keep the other's numbers.
+    """
+    payload: dict = {}
+    if BENCH_ROUTING_PATH.exists():
+        try:
+            payload = json.loads(BENCH_ROUTING_PATH.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload.update(partial)
+    BENCH_ROUTING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
 def _neighbor_broods(size: int = 64, seed: int = 42):
     """One parent plus three neighbour broods of ``size`` designs each.
 
@@ -273,7 +290,7 @@ def test_routing_cache_bench_writes_json():
     the perf trajectory with the engine's numbers.
     """
     payload = run_routing_cache_bench()
-    BENCH_ROUTING_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _update_bench_json(payload)
     for name, entry in payload["broods"].items():
         print(f"{name}: fresh {entry['fresh_seconds'] * 1e3:.1f} ms vs "
               f"cached {entry['cached_seconds'] * 1e3:.1f} ms -> {entry['speedup']:.2f}x "
@@ -298,6 +315,81 @@ def test_routing_cache_speedup_placement_brood():
     speedup = payload["broods"]["placement"]["speedup"]
     print(f"placement-brood routing-cache speedup: {speedup:.2f}x")
     assert speedup >= 2.0, f"routing cache only {speedup:.2f}x on a placement brood"
+
+
+# ---------------------------------------------------------------------- #
+# Parallel-evaluation worker sweep on a paper_4x4x4-class cell
+# ---------------------------------------------------------------------- #
+def run_parallel_worker_sweep(
+    workers: tuple[int, ...] = (1, 2, 4),
+    batch: int = 32,
+    repeats: int = 2,
+) -> dict:
+    """Time ``evaluate_many`` serially vs on 1/2/4 pool workers (64 tiles).
+
+    This is the ROADMAP's open question behind the campaign engine's
+    either/or parallelism rule: on the paper's 4x4x4 platform, how many
+    evaluator workers does one population-sized miss batch actually pay for?
+    The serial path is the baseline; each worker count is timed on a *warm*
+    pool (one priming batch first, outside the timed section) because
+    campaigns reuse the pool across every generation of a cell — pool
+    start-up is a per-cell constant, not a per-batch cost.
+    """
+    platform = PlatformConfig.paper_4x4x4()
+    workload = get_workload("BFS", platform, seed=0)
+    designs = [random_design(platform, seed) for seed in range(300, 300 + batch)]
+    warmup = [random_design(platform, seed) for seed in range(600, 600 + batch)]
+
+    def best_of(evaluate) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            evaluate()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    evaluator = ObjectiveEvaluator(workload, scenario_for(5), cache_size=0)
+    serial_seconds = best_of(lambda: evaluator.evaluate_many(designs))
+    payload: dict = {
+        "platform": platform.name,
+        "workload": workload.name,
+        "scenario": "5-obj",
+        "batch_size": batch,
+        "serial_seconds": serial_seconds,
+        "workers": {},
+    }
+    for count in workers:
+        evaluator = ObjectiveEvaluator(workload, scenario_for(5), cache_size=0)
+        try:
+            evaluator.evaluate_many(warmup, parallel=True, max_workers=count)
+            seconds = best_of(
+                lambda: evaluator.evaluate_many(designs, parallel=True, max_workers=count)
+            )
+        finally:
+            evaluator.shutdown()
+        payload["workers"][str(count)] = {
+            "seconds": seconds,
+            "speedup_vs_serial": serial_seconds / seconds,
+        }
+    return payload
+
+
+def test_parallel_worker_sweep_writes_json():
+    """Record the evaluator worker-count sweep into ``BENCH_routing.json``.
+
+    No wall-clock thresholds (CI runners are noisy); the sweep documents the
+    measured curve under the ``parallel_workers`` key so the ROADMAP's
+    cell-level vs evaluator-level scheduling decision has data behind it.
+    """
+    payload = run_parallel_worker_sweep()
+    _update_bench_json({"parallel_workers": payload})
+    print(f"serial: {payload['serial_seconds'] * 1e3:.1f} ms for "
+          f"{payload['batch_size']} designs on {payload['platform']}")
+    for count, entry in payload["workers"].items():
+        print(f"  {count} workers: {entry['seconds'] * 1e3:.1f} ms "
+              f"({entry['speedup_vs_serial']:.2f}x vs serial)")
+    assert set(payload["workers"]) == {"1", "2", "4"}
+    assert payload["serial_seconds"] > 0
 
 
 @pytest.mark.benchmark(group="components")

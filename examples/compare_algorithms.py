@@ -1,9 +1,12 @@
 #!/usr/bin/env python3
 """Compare MOELA against MOEA/D, MOOS, MOO-STAGE and NSGA-II on one workload.
 
-Runs every optimiser on the same (application, scenario) problem instance with
-a matched evaluation budget, then reports the Pareto hypervolume over time,
-the final front size, and the speed-up / PHV-gain metrics of Section V.C.
+Runs every requested optimiser on the same (application, scenario) problem
+instance with a matched evaluation budget through the :class:`repro.Study`
+front door, then reports the final front, the Pareto hypervolume, and the
+speed-up / PHV-gain metrics of Section V.C.  Algorithm names are resolved
+through the optimizer registry, so any registered spelling (``moead``,
+``MOEA/D``, ``nsga2`` ...) — including third-party registrations — works.
 
 Run with::
 
@@ -14,17 +17,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.experiments.config import ExperimentConfig
+from repro import Study, default_registry
 from repro.experiments.metrics import common_reference_point, phv_gain, speedup_factor
-from repro.experiments.runner import ALGORITHMS, make_problem, run_algorithm
-from repro.moo.termination import Budget
-from repro.noc.platform import PlatformConfig
-
-PLATFORMS = {
-    "tiny": PlatformConfig.tiny_2x2x2,
-    "small": PlatformConfig.small_3x3x3,
-    "paper": PlatformConfig.paper_4x4x4,
-}
 
 
 def parse_args() -> argparse.Namespace:
@@ -33,28 +27,25 @@ def parse_args() -> argparse.Namespace:
     parser.add_argument("--objectives", type=int, default=5, choices=(3, 4, 5))
     parser.add_argument("--evaluations", type=int, default=1000, help="evaluation budget per algorithm")
     parser.add_argument("--population", type=int, default=16)
-    parser.add_argument("--platform", choices=sorted(PLATFORMS), default="small")
+    parser.add_argument("--platform", default="small", help="tiny / small / paper (or a full name)")
     parser.add_argument("--algorithms", nargs="+", default=["MOELA", "MOEA/D", "MOOS"],
-                        help=f"subset of {ALGORITHMS}")
+                        help=f"subset of {default_registry().names()}")
     return parser.parse_args()
 
 
 def main() -> None:
     args = parse_args()
-    experiment = ExperimentConfig(
-        platform=PLATFORMS[args.platform](),
-        applications=(args.app.upper(),),
-        objective_counts=(args.objectives,),
-        population_size=args.population,
-        max_evaluations=args.evaluations,
+    study = (
+        Study(platform=args.platform, objectives=args.objectives)
+        .apps(args.app)
+        .algorithms(*args.algorithms)
+        .evaluations(args.evaluations)
+        .population_size(args.population)
+        .on_event(lambda event: event.kind == "run_started"
+                  and print(f"running {event.algorithm:<10} on {event.application} ...", flush=True))
     )
-    budget = Budget.evaluations(args.evaluations)
-
-    results = {}
-    for algorithm in args.algorithms:
-        problem = make_problem(experiment, args.app, args.objectives)
-        print(f"running {algorithm:<10} on {problem.name} ...", flush=True)
-        results[algorithm] = run_algorithm(algorithm, problem, experiment, budget=budget)
+    outcome = study.run()
+    results = {algorithm: outcome.result(algorithm) for algorithm in outcome.algorithms}
 
     reference = common_reference_point(list(results.values()))
     print(f"\n{'algorithm':<12}{'evals':>8}{'seconds':>10}{'front':>8}{'PHV':>14}")

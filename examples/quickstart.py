@@ -4,7 +4,10 @@
 This example mirrors Fig. 1 of the paper: a 3x3x3 (27-tile) platform running a
 Rodinia-like BFS workload is optimised for the first three objectives of
 Section III (mean link utilisation, utilisation variance, CPU-LLC latency).
-The script runs in well under a minute on a laptop.
+It is written against the :class:`repro.Study` front door — one fluent object
+that resolves the optimiser through the registry, wires the budget, and
+streams progress events while the search runs.  The script finishes in well
+under a minute on a laptop.
 
 Run with::
 
@@ -13,9 +16,14 @@ Run with::
 
 from __future__ import annotations
 
-from repro import MOELA, MOELAConfig, NocDesignProblem, PlatformConfig, get_workload
+from repro import NocDesignProblem, PlatformConfig, Study, get_workload
 from repro.moo.hypervolume import reference_point_from
-from repro.moo.termination import Budget
+
+
+def print_progress(event) -> None:
+    """Streaming StudyEvent subscriber: one line every 10 iterations."""
+    if event.kind == "iteration" and event.iteration % 10 == 0:
+        print(f"  {event.describe()}")
 
 
 def main() -> None:
@@ -24,21 +32,27 @@ def main() -> None:
     print(f"platform: {platform.name} with {platform.num_tiles} tiles, "
           f"{platform.num_planar_links} planar links, {platform.num_vertical_links} TSVs")
 
-    # 2. Generate the application workload (gem5-GPU/McPAT substitute).
+    # 2. Peek at the generated application workload (gem5-GPU/McPAT substitute).
     workload = get_workload("BFS", platform, seed=1)
     print(f"workload: {workload.name}, total traffic {workload.total_traffic():.1f} flits/kcycle, "
           f"total PE power {workload.power.sum():.1f} W")
 
-    # 3. Build the 3-objective design problem of Section III.
+    # 3. Declare and run the study: MOELA on the 3-objective BFS problem.  The
+    #    registry resolves "moela" (any spelling), the per-run budget comes
+    #    from .evaluations(), and on_event streams structured progress.
+    study = (
+        Study(platform=platform, objectives=3, seed=1)
+        .apps("BFS")
+        .algorithm("moela")
+        .evaluations(800)
+        .on_event(print_progress)
+    )
+    result = study.run().result("MOELA")
+
+    # 4. Inspect the outcome.  The problem object gives the objective labels
+    #    (and, below, the full per-design report) — the lower-level API is
+    #    unchanged and fully interoperable with the façade.
     problem = NocDesignProblem(workload, scenario=3)
-    print(f"problem: {problem.name} with objectives {problem.objective_names}")
-
-    # 4. Run MOELA with a reduced budget.
-    config = MOELAConfig.reduced(seed=1)
-    optimizer = MOELA(problem, config, rng=1)
-    result = optimizer.run(Budget.evaluations(800))
-
-    # 5. Inspect the outcome.
     front = result.final_front()
     reference = reference_point_from(front)
     print(f"\nsearch finished: {result.evaluations} evaluations in {result.elapsed_seconds:.1f}s")
@@ -51,6 +65,7 @@ def main() -> None:
         values = ", ".join(f"{v:.3g}" for v in front[best])
         print(f"  lowest {name:<18} -> ({values})")
 
+    # 5. Full objective report of one Pareto design.
     best_design = result.pareto_designs()[0]
     report = problem.full_report(best_design)
     print("\nfull objective report of one Pareto design:")

@@ -1,11 +1,12 @@
 #!/usr/bin/env python3
 """Regenerate the paper's evaluation artefacts: Table I, Table II and Fig. 3.
 
-By default the script uses the reduced laptop-scale configuration (27-tile
-platform, six Rodinia applications, 3/4/5-objective scenarios, an evaluation
-budget per run) and prints the same rows the paper reports.  ``--paper-scale``
-switches to the full 64-tile / 1000-generation configuration of Section V
-(this takes many hours).
+The runs are declared through the :class:`repro.Study` façade (MOELA, MOEA/D
+and MOOS on every requested application x scenario cell with matched budgets)
+and the resulting run map feeds the same table/figure builders the paper
+harness uses.  By default the script uses the reduced laptop-scale
+configuration and prints the same rows the paper reports; ``--paper-scale``
+switches to the full 64-tile configuration of Section V (many hours).
 
 Run with::
 
@@ -19,17 +20,8 @@ from __future__ import annotations
 
 import argparse
 
-from repro.core.config import MOELAConfig
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.tables import (
-    build_figure3,
-    build_table1,
-    build_table2,
-    format_figure3,
-    format_table,
-    run_all_comparisons,
-)
-from repro.noc.platform import PlatformConfig
+from repro import Study
+from repro.experiments.tables import build_figure3, format_figure3, format_table
 
 
 def parse_args() -> argparse.Namespace:
@@ -47,18 +39,16 @@ def parse_args() -> argparse.Namespace:
     return parser.parse_args()
 
 
-def build_experiment(args: argparse.Namespace) -> ExperimentConfig:
-    if args.paper_scale:
-        return ExperimentConfig.paper_scale()
-    base = ExperimentConfig.reduced()
-    return ExperimentConfig(
-        platform=PlatformConfig.small_3x3x3(),
-        applications=tuple(a.upper() for a in args.apps) if args.apps else base.applications,
-        objective_counts=tuple(args.objectives) if args.objectives else base.objective_counts,
-        population_size=args.population,
-        max_evaluations=args.evaluations,
-        moela=MOELAConfig.reduced(),
-    )
+def build_study(args: argparse.Namespace) -> Study:
+    study = Study(preset="paper" if args.paper_scale else "reduced")
+    study.algorithms("MOELA", "MOEA/D", "MOOS")
+    if not args.paper_scale:
+        study.platform("small").evaluations(args.evaluations).population_size(args.population)
+    if args.apps:
+        study.apps(*args.apps)
+    if args.objectives:
+        study.objectives(*args.objectives)
+    return study
 
 
 def main() -> None:
@@ -68,21 +58,24 @@ def main() -> None:
     if not args.tables and not args.figures:
         tables, figures = {1, 2}, {3}
 
-    experiment = build_experiment(args)
+    study = build_study(args)
+    experiment = study.experiment()
     total_cells = len(experiment.applications) * len(experiment.objective_counts)
     print(
         f"running MOELA / MOEA/D / MOOS on {len(experiment.applications)} applications x "
         f"{len(experiment.objective_counts)} scenarios ({total_cells} cells, "
         f"{experiment.max_evaluations} evaluations per run) on platform {experiment.platform.name}"
     )
-    runs = run_all_comparisons(experiment, progress=lambda msg: print(f"  {msg}", flush=True))
+    study.on_event(lambda event: event.kind == "run_started" and print(
+        f"  running {event.algorithm} on {event.application} / {event.num_objectives}-obj", flush=True))
+    outcome = study.run()
 
     if 1 in tables:
-        print("\n" + format_table(build_table1(experiment, runs), value_format="{:8.2f}"))
+        print("\n" + format_table(outcome.table1(), value_format="{:8.2f}"))
     if 2 in tables:
-        print("\n" + format_table(build_table2(experiment, runs), value_format="{:8.1f}"))
+        print("\n" + format_table(outcome.table2(), value_format="{:8.1f}"))
     if 3 in figures:
-        print("\n" + format_figure3(build_figure3(experiment, runs)))
+        print("\n" + format_figure3(build_figure3(experiment, outcome.runs)))
 
     print(
         "\nNote: absolute values differ from the paper (its campaigns run for up to 48 hours on a "

@@ -1,100 +1,52 @@
 #!/usr/bin/env python3
-"""Run a sharded (algorithm x application x scenario) comparison campaign.
+"""DEPRECATED shim: use ``python -m repro campaign`` instead.
 
-The campaign engine fans the full grid out over a process pool, writes every
-cell's result to its own JSON shard next to a manifest, and resumes a killed
-campaign by running only the cells whose shard is missing.  This is the
-one-command entry point to the paper's comparison grid; the defaults here are
-laptop-scale, ``--paper`` switches to the full 4x4x4 platform (on which the
-objective evaluator's own process-pool batch path auto-enables when the
-campaign runs cells serially).
+This script used to hand-wire the sharded campaign runner; that logic now
+lives behind the :class:`repro.Study` façade and the ``python -m repro``
+CLI.  The old flags keep working — they are translated one-to-one onto the
+``campaign`` subcommand — so existing automation (and muscle memory) does not
+break, but new scripts should call the CLI directly::
 
-Run with::
-
-    python examples/run_campaign.py --output-dir /tmp/campaign
-    python examples/run_campaign.py --output-dir /tmp/campaign   # resumes / skips
-    python examples/run_campaign.py --smoke --output-dir /tmp/campaign-smoke
+    python -m repro campaign --output-dir /tmp/campaign
+    python -m repro campaign --smoke --output-dir /tmp/campaign-smoke --tables
+    python -m repro tables --output-dir /tmp/campaign
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import replace
+import sys
 
-from repro.experiments.config import CampaignConfig, ExperimentConfig
-from repro.experiments.runner import ALGORITHMS, campaign_status, load_campaign_results, run_campaign
-from repro.experiments.tables import aggregate_campaign, format_table
-from repro.moo.hypervolume import reference_point_from
+from repro.cli import main as cli_main
 
 
-def build_campaign(args: argparse.Namespace) -> CampaignConfig:
-    if args.smoke:
-        # Two algorithms on the tiny mesh-scale test platform: finishes in
-        # seconds, exercises the full manifest/shard/resume path (the CI
-        # smoke job runs exactly this).
-        return replace(CampaignConfig.smoke(), max_workers=args.workers)
-    experiment = ExperimentConfig.paper_scale() if args.paper else ExperimentConfig.reduced()
-    return CampaignConfig(
-        experiment=experiment,
-        algorithms=tuple(args.algorithms) if args.algorithms else (),
-        max_workers=args.workers,
-    )
-
-
-def main() -> None:
+def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--output-dir", required=True, help="campaign directory (manifest + shards)")
     parser.add_argument("--workers", type=int, default=1, help="process-pool size for grid cells")
     parser.add_argument("--algorithms", nargs="*", help="subset of algorithms (default: all)")
     parser.add_argument("--paper", action="store_true", help="full paper-scale 4x4x4 campaign")
     parser.add_argument("--smoke", action="store_true", help="tiny 4-cell campaign for CI / demos")
-    parser.add_argument(
-        "--tables",
-        action="store_true",
-        help="after the campaign, fold the finished shards into the Table I/II "
-        "builders (no cell is re-run)",
-    )
+    parser.add_argument("--tables", action="store_true",
+                        help="after the campaign, fold the finished shards into the "
+                        "Table I/II builders (no cell is re-run)")
     args = parser.parse_args()
 
-    campaign = build_campaign(args)
-    grid = (
-        f"{len(tuple(campaign.algorithms) or ALGORITHMS)} "
-        f"algorithms x {len(campaign.experiment.applications)} applications "
-        f"x {len(campaign.experiment.objective_counts)} scenarios"
-    )
-    print(f"campaign: {grid} on {campaign.experiment.platform.name}, "
-          f"{campaign.cell_budget} evaluations per cell, "
-          f"workers={campaign.max_workers}, "
-          f"parallel evaluation={campaign.resolve_parallel_evaluation()}")
+    print("note: examples/run_campaign.py is deprecated; "
+          "use `python -m repro campaign` instead", file=sys.stderr)
 
-    summary = run_campaign(campaign, args.output_dir)
-    print(f"executed {len(summary.executed)} cells, skipped {len(summary.skipped)} "
-          f"already-completed cells (delete a shard and re-run to redo one cell)")
-    print(f"manifest: {summary.manifest_path}")
-
-    status = campaign_status(summary.output_dir)
-    assert all(status.values()), "campaign finished with incomplete cells"
-
-    if summary.routing_cache:
-        stats = summary.routing_cache
-        print(f"routing cache: {stats['hits']} hits, {stats['misses']} misses, "
-              f"{stats['incremental_repairs']} incremental repairs "
-              f"(hit rate {stats['hit_rate']:.1%})")
-
-    print("\nper-cell fronts (self-referenced hypervolume):")
-    for cell, result in load_campaign_results(summary.output_dir):
-        front = result.final_front()
-        phv = result.final_hypervolume(reference_point_from(front))
-        print(f"  {cell.key:<28} evaluations={result.evaluations:<7} "
-              f"front={len(front):<3} phv={phv:.4g}")
-
+    argv = ["campaign", "--output-dir", args.output_dir,
+            "--workers", str(args.workers), "--no-progress"]
+    if args.algorithms:
+        argv += ["--algorithms", *args.algorithms]
+    if args.paper:
+        argv.append("--paper")
+    if args.smoke:
+        argv.append("--smoke")
     if args.tables:
-        aggregate = aggregate_campaign(summary.output_dir)
-        print(f"\ncampaign tables ({aggregate.target} vs {', '.join(aggregate.baselines)}):\n")
-        print(format_table(aggregate.table1()))
-        print()
-        print(format_table(aggregate.table2()))
+        argv.append("--tables")
+    return cli_main(argv)
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

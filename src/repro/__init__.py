@@ -20,21 +20,58 @@ Manycore Platforms" (DATE 2023).  It contains:
 * ``repro.core`` — the MOELA framework itself (Algorithms 1 and 2).
 * ``repro.experiments`` — the harness that regenerates Table I, Table II and
   Fig. 3 of the paper.
+* ``repro.study`` — the unified front door: the :class:`Study` façade, the
+  optimizer registry every dispatch path resolves names through, and the
+  streaming :class:`StudyEvent` progress protocol (``python -m repro`` is the
+  CLI twin).
+
+The workhorse types are re-exported here so user code never has to import
+from deep modules: build a :class:`Study` (or an :class:`ExperimentConfig` /
+:class:`CampaignConfig`), run it, and consume :class:`OptimizationResult`\\ s.
 """
 
 from repro.core.config import MOELAConfig
 from repro.core.moela import MOELA
 from repro.core.problem import NocDesignProblem
+from repro.experiments.config import CampaignConfig, ExperimentConfig
+from repro.experiments.runner import compare_algorithms, run_algorithm, run_campaign
+from repro.moo.result import OptimizationResult
+from repro.moo.termination import Budget
 from repro.noc.platform import PlatformConfig
+from repro.objectives.evaluator import ObjectiveEvaluator
+from repro.study.events import EventCallback, StudyEvent
+from repro.study.registry import (
+    OptimizerRegistry,
+    OptimizerSpec,
+    default_registry,
+    register_optimizer,
+)
+from repro.study.study import Study, StudyResult
 from repro.workloads.registry import WorkloadRegistry, get_workload
 
 __all__ = [
+    "Budget",
+    "CampaignConfig",
+    "EventCallback",
+    "ExperimentConfig",
     "MOELA",
     "MOELAConfig",
     "NocDesignProblem",
+    "ObjectiveEvaluator",
+    "OptimizationResult",
+    "OptimizerRegistry",
+    "OptimizerSpec",
     "PlatformConfig",
+    "Study",
+    "StudyEvent",
+    "StudyResult",
     "WorkloadRegistry",
+    "compare_algorithms",
+    "default_registry",
     "get_workload",
+    "register_optimizer",
+    "run_algorithm",
+    "run_campaign",
 ]
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"

@@ -1,0 +1,284 @@
+"""``python -m repro`` — the command-line front door, built on :class:`Study`.
+
+Three subcommands cover the package's workflows:
+
+``run``
+    Inline runs / comparisons: build a study from flags or a TOML/JSON config
+    file, stream progress, print per-run summaries and (with two or more
+    algorithms) the paper's comparison tables.
+``campaign``
+    Sharded, resumable campaigns over the (algorithm x application x
+    scenario) grid — the CLI twin of
+    :func:`repro.experiments.runner.run_campaign`.
+``tables``
+    Fold a finished (or partially finished) campaign directory into Table I /
+    Table II without re-running any cell.
+
+Every algorithm name is resolved through the optimizer registry, so
+registered third-party optimisers are first-class citizens here too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.experiments.tables import aggregate_campaign, format_table
+from repro.moo.hypervolume import reference_point_from
+from repro.study.events import StudyEvent
+from repro.study.registry import default_registry
+from repro.study.study import PLATFORM_FACTORIES, PRESETS, Study
+
+
+def _print_event(event: StudyEvent) -> None:
+    print(f"  {event.describe()}", flush=True)
+
+
+def _progress_callback(args: argparse.Namespace, every: int = 1):
+    """Event printer for ``--progress`` (None when progress is off).
+
+    ``iteration`` events are thinned to every ``every``-th per run so long
+    searches stay readable; all other kinds always print.
+    """
+    if not args.progress:
+        return None
+    counters: dict[tuple, int] = {}
+
+    def callback(event: StudyEvent) -> None:
+        if event.kind == "iteration":
+            key = (event.algorithm, event.application, event.num_objectives)
+            counters[key] = counters.get(key, 0) + 1
+            if counters[key] % every:
+                return
+        _print_event(event)
+
+    return callback
+
+
+def _study_from_args(args: argparse.Namespace) -> Study:
+    """Build the study: config file first (if any), CLI flags override."""
+    study = Study.from_file(args.config) if args.config else Study()
+    if args.preset:
+        study.preset(args.preset)
+    if args.platform:
+        study.platform(args.platform)
+    if args.apps:
+        study.apps(*args.apps)
+    if args.objectives:
+        study.objectives(*args.objectives)
+    if args.algorithms:
+        study.clear_algorithms().algorithms(*args.algorithms)
+    if args.evaluations is not None:
+        study.evaluations(args.evaluations)
+    if args.population is not None:
+        study.population_size(args.population)
+    if args.seed is not None:
+        study.seed(args.seed)
+    if args.no_routing_cache:
+        study.routing_cache(False)
+    return study
+
+
+def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", help="TOML/JSON study file (flags override its values)")
+    parser.add_argument("--preset", choices=sorted(PRESETS),
+                        help="base experiment preset (default: reduced)")
+    parser.add_argument("--platform", help=f"platform name ({', '.join(sorted(set(PLATFORM_FACTORIES)))})")
+    parser.add_argument("--apps", nargs="+", help="application names (e.g. BFS HOT)")
+    parser.add_argument("--objectives", nargs="+", type=int, help="objective scenarios (3 4 5)")
+    parser.add_argument("--algorithms", nargs="+",
+                        help="algorithm names, any registered spelling (default: every registered)")
+    parser.add_argument("--evaluations", type=int, help="evaluation budget per run/cell")
+    parser.add_argument("--population", type=int, help="population / archive size")
+    parser.add_argument("--seed", type=int, help="base seed")
+    parser.add_argument("--no-routing-cache", action="store_true",
+                        help="disable the cross-design routing cache (perf escape hatch)")
+    parser.add_argument("--no-progress", dest="progress", action="store_false",
+                        help="do not stream per-iteration/shard progress events")
+
+
+def _print_run_summaries(result: Any) -> None:
+    print(f"\n{'algorithm':<12}{'app':<8}{'obj':>4}{'evals':>8}{'seconds':>9}{'front':>7}{'PHV':>12}")
+    for application, num_objectives, algorithm, run in result:
+        front = run.final_front()
+        phv = run.final_hypervolume(reference_point_from(front))
+        print(
+            f"{algorithm:<12}{application:<8}{num_objectives:>4}{run.evaluations:>8}"
+            f"{run.elapsed_seconds:>9.1f}{len(front):>7}{phv:>12.4g}"
+        )
+
+
+def _print_routing_cache(stats: "dict[str, Any] | None") -> None:
+    if not stats or not stats.get("requests"):
+        return
+    print(f"routing cache: {stats['hits']} hits, {stats['misses']} misses, "
+          f"{stats['incremental_repairs']} incremental repairs "
+          f"(hit rate {stats['hit_rate']:.1%})")
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    print("registered optimizers:")
+    for name in registry.names():
+        spec = registry.spec(name)
+        print(f"  {name:<12} {spec.description}")
+        if args.verbose:
+            for option, doc in sorted(spec.hyperparameters.items()):
+                print(f"    {option:<24} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = _study_from_args(args)
+    experiment = study.experiment()
+    names = study.algorithm_names()
+    print(f"study: {', '.join(names)} on {', '.join(experiment.applications)} "
+          f"x {list(experiment.objective_counts)}-obj, platform {experiment.platform.name}, "
+          f"{experiment.max_evaluations} evaluations per run")
+    study.on_event(_progress_callback(args, every=max(1, experiment.max_evaluations // (5 * experiment.population_size))))
+    result = study.run()
+    _print_run_summaries(result)
+    print()
+    _print_routing_cache(result.routing_cache_summary())
+    if len(result.algorithms) >= 2:
+        print()
+        print(result.format_tables(measure=args.measure))
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    study = _study_from_args(args)
+    if args.smoke:
+        # The 2x2-cell CI grid: two algorithms x two applications on the tiny
+        # platform, 60 evaluations per cell — identical to
+        # CampaignConfig.smoke(), so existing smoke campaign directories
+        # resume instead of rerunning.
+        study.preset("smoke").apps("BFS", "BP").evaluations(60)
+        study.clear_algorithms().algorithms("MOEA/D", "NSGA-II")
+    if args.paper:
+        study.preset("paper")
+    # Start from the config file's campaign settings (if any) and only let
+    # flags the user actually passed override them.
+    settings = study.campaign_settings() or {"max_workers": 1, "resume": True,
+                                             "parallel_evaluation": None}
+    output_dir = args.output_dir or settings.get("output_dir")
+    if not output_dir:
+        print("error: campaign needs --output-dir (or a campaign.output_dir in --config)",
+              file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        settings["max_workers"] = args.workers
+    if args.no_resume:
+        settings["resume"] = False
+    study.campaign(
+        output_dir,
+        max_workers=settings["max_workers"],
+        resume=settings["resume"],
+        parallel_evaluation=settings["parallel_evaluation"],
+    )
+    campaign = study.campaign_config()
+    experiment = campaign.experiment
+    grid = (f"{len(campaign.algorithms)} algorithms x "
+            f"{len(experiment.applications)} applications x "
+            f"{len(experiment.objective_counts)} scenarios")
+    print(f"campaign: {grid} on {experiment.platform.name}, "
+          f"{campaign.cell_budget} evaluations per cell, "
+          f"workers={campaign.max_workers}, "
+          f"parallel evaluation={campaign.resolve_parallel_evaluation()}")
+
+    study.on_event(_progress_callback(args))
+    result = study.run()
+    summary = result.campaign
+    print(f"executed {len(summary.executed)} cells, skipped {len(summary.skipped)} "
+          f"already-completed cells (delete a shard and re-run to redo one cell)")
+    print(f"manifest: {summary.manifest_path}")
+    _print_routing_cache(summary.routing_cache)
+    _print_run_summaries(result)
+    if args.tables and len(result.algorithms) >= 2:
+        print()
+        print(result.format_tables(measure=args.measure))
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    aggregate = aggregate_campaign(args.output_dir)
+    if not aggregate.algorithms:
+        print(f"error: no completed shards under {args.output_dir}", file=sys.stderr)
+        return 1
+    print(f"campaign tables ({aggregate.target} vs {', '.join(aggregate.baselines)}):\n")
+    print(format_table(aggregate.table1(measure=args.measure)))
+    print()
+    print(format_table(aggregate.table2()))
+    print()
+    _print_routing_cache(aggregate.routing_cache)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOELA reproduction front door: runs, campaigns and tables.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more algorithms inline and compare them"
+    )
+    _add_study_arguments(run_parser)
+    run_parser.add_argument("--measure", default="evaluations",
+                            choices=("evaluations", "seconds", "iterations"),
+                            help="effort axis of the Table I speed-up")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    campaign_parser = subparsers.add_parser(
+        "campaign", help="run (or resume) a sharded campaign over the full grid"
+    )
+    _add_study_arguments(campaign_parser)
+    campaign_parser.add_argument("--output-dir", help="campaign directory (manifest + shards)")
+    campaign_parser.add_argument("--workers", type=int, default=None,
+                                 help="process-pool size for grid cells "
+                                 "(default: 1, or the --config file's max_workers)")
+    campaign_parser.add_argument("--smoke", action="store_true",
+                                 help="tiny 2x2-cell campaign for CI / demos")
+    campaign_parser.add_argument("--paper", action="store_true",
+                                 help="full paper-scale 4x4x4 campaign")
+    campaign_parser.add_argument("--no-resume", action="store_true",
+                                 help="re-run every cell even when its shard exists")
+    campaign_parser.add_argument("--tables", action="store_true",
+                                 help="render Table I/II from the finished shards afterwards")
+    campaign_parser.add_argument("--measure", default="evaluations",
+                                 choices=("evaluations", "seconds", "iterations"))
+    campaign_parser.set_defaults(handler=_cmd_campaign)
+
+    tables_parser = subparsers.add_parser(
+        "tables", help="fold a campaign directory's shards into Table I/II (no re-runs)"
+    )
+    tables_parser.add_argument("--output-dir", required=True,
+                               help="campaign directory written by `repro campaign`")
+    tables_parser.add_argument("--measure", default="evaluations",
+                               choices=("evaluations", "seconds", "iterations"))
+    tables_parser.set_defaults(handler=_cmd_tables)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list the registered optimizers and their hyperparameters"
+    )
+    list_parser.add_argument("--verbose", "-v", action="store_true",
+                             help="also print every declared hyperparameter")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    """CLI entry point (the ``repro`` console script and ``python -m repro``)."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -16,23 +16,22 @@ import re
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, Iterator, Mapping
 
-from repro.core.config import MOELAConfig
-from repro.core.moela import MOELA
 from repro.core.problem import NocDesignProblem
 from repro.experiments.config import CampaignConfig, ExperimentConfig
-from repro.moo.moead import MOEAD
-from repro.moo.moo_stage import MOOStage
-from repro.moo.moos import MOOS
-from repro.moo.nsga2 import NSGA2
 from repro.moo.result import OptimizationResult
 from repro.moo.termination import Budget
+from repro.study.events import EventCallback, StudyEvent
+from repro.study.optimizers import BUILTIN_ALGORITHMS
+from repro.study.registry import default_registry
 from repro.utils.serialization import load_result, result_to_dict, write_json_atomic
 from repro.workloads.registry import get_workload
 
-#: Algorithm names accepted by :func:`run_algorithm`.
-ALGORITHMS: tuple[str, ...] = ("MOELA", "MOEA/D", "MOOS", "MOO-STAGE", "NSGA-II")
+#: Canonical names of the built-in algorithms.  :func:`run_algorithm` accepts
+#: anything registered with the :class:`~repro.study.registry.OptimizerRegistry`
+#: (including third-party registrations), under any alias spelling.
+ALGORITHMS: tuple[str, ...] = BUILTIN_ALGORITHMS
 
 #: File name of the campaign manifest inside a campaign output directory.
 MANIFEST_NAME = "manifest.json"
@@ -72,61 +71,31 @@ def run_algorithm(
     experiment: ExperimentConfig,
     budget: Budget | None = None,
     seed: int | None = None,
+    options: Mapping[str, Any] | None = None,
+    on_event: EventCallback | None = None,
 ) -> OptimizationResult:
-    """Run one algorithm on one problem instance and return its result."""
-    name = algorithm.upper()
-    budget = budget if budget is not None else Budget.evaluations(experiment.max_evaluations)
-    if seed is None:
-        seed = _derived_seed(experiment, name, problem.workload.name, problem.num_objectives)
+    """Run one algorithm on one problem instance and return its result.
 
-    if name == "MOELA":
-        moela_config = MOELAConfig(
-            population_size=experiment.population_size,
-            generations=experiment.moela.generations,
-            iter_early=experiment.moela.iter_early,
-            n_local=min(experiment.moela.n_local, experiment.population_size),
-            delta=experiment.moela.delta,
-            neighborhood_size=min(experiment.moela.neighborhood_size, experiment.population_size),
-            replacement_limit=experiment.moela.replacement_limit,
-            local_search_steps=experiment.moela.local_search_steps,
-            local_search_neighbors=experiment.moela.local_search_neighbors,
-            local_search_patience=experiment.moela.local_search_patience,
-            max_training_samples=experiment.moela.max_training_samples,
-            forest_size=experiment.moela.forest_size,
-            forest_depth=experiment.moela.forest_depth,
-            seed=seed,
-        )
-        optimizer: Any = MOELA(problem, moela_config, rng=seed)
-    elif name in ("MOEA/D", "MOEAD"):
-        optimizer = MOEAD(
-            problem,
-            population_size=experiment.population_size,
-            neighborhood_size=min(experiment.moela.neighborhood_size, experiment.population_size),
-            delta=experiment.moela.delta,
-            rng=seed,
-        )
-    elif name == "MOOS":
-        optimizer = MOOS(
-            problem,
-            population_size=experiment.population_size,
-            searches_per_iteration=experiment.searches_per_iteration,
-            local_search_steps=experiment.local_search_steps,
-            neighbors_per_step=experiment.neighbors_per_step,
-            rng=seed,
-        )
-    elif name == "MOO-STAGE":
-        optimizer = MOOStage(
-            problem,
-            population_size=experiment.population_size,
-            searches_per_iteration=experiment.searches_per_iteration,
-            local_search_steps=experiment.local_search_steps,
-            neighbors_per_step=experiment.neighbors_per_step,
-            rng=seed,
-        )
-    elif name == "NSGA-II":
-        optimizer = NSGA2(problem, population_size=experiment.population_size, rng=seed)
-    else:
-        raise ValueError(f"unknown algorithm {algorithm!r}; available: {ALGORITHMS}")
+    The algorithm name (any spelling the
+    :class:`~repro.study.registry.OptimizerRegistry` accepts) is resolved to
+    its registered spec, which owns the experiment-to-constructor wiring.
+    ``options`` are hyper-parameter overrides validated against the spec's
+    declared schema; ``on_event`` subscribes the run to streaming
+    :class:`~repro.study.events.StudyEvent` progress (observation-only — a
+    subscribed run is bit-identical to a silent one).
+    """
+    spec = default_registry().spec(algorithm)
+    budget = budget if budget is not None else spec.budget_for(experiment)
+    if seed is None:
+        seed = _derived_seed(experiment, spec.name, problem.workload.name, problem.num_objectives)
+    optimizer = spec.create(problem, experiment, seed, **dict(options or {}))
+    if on_event is not None:
+        optimizer.on_event = on_event
+        optimizer.event_context = {
+            "algorithm": spec.name,
+            "application": problem.workload.name,
+            "num_objectives": problem.num_objectives,
+        }
     return optimizer.run(budget)
 
 
@@ -136,12 +105,19 @@ def compare_algorithms(
     application: str,
     num_objectives: int,
     budget: Budget | None = None,
+    on_event: EventCallback | None = None,
 ) -> dict[str, OptimizationResult]:
-    """Run several algorithms on the same problem instance with matched budgets."""
+    """Run several algorithms on the same problem instance with matched budgets.
+
+    Results are keyed by canonical algorithm name (aliases fold together).
+    """
+    registry = default_registry()
     problem = make_problem(experiment, application, num_objectives)
     results: dict[str, OptimizationResult] = {}
     for algorithm in algorithms:
-        results[algorithm] = run_algorithm(algorithm, problem, experiment, budget=budget)
+        results[registry.canonical(algorithm)] = run_algorithm(
+            algorithm, problem, experiment, budget=budget, on_event=on_event
+        )
     return results
 
 
@@ -210,18 +186,25 @@ class CampaignSummary:
 
 
 def campaign_cells(campaign: CampaignConfig) -> list[CampaignCell]:
-    """The full cell grid of a campaign, with per-cell derived seeds."""
-    algorithms = tuple(campaign.algorithms) or ALGORITHMS
-    unknown = [a for a in algorithms if a.upper() not in {x.upper() for x in ALGORITHMS} | {"MOEAD"}]
-    if unknown:
-        raise ValueError(f"unknown algorithms {unknown}; available: {ALGORITHMS}")
+    """The full cell grid of a campaign, with per-cell derived seeds.
+
+    Algorithm names are canonicalised through the optimizer registry, so alias
+    spellings (``"MOEAD"`` vs ``"MOEA/D"``) always map to the same cell, seed
+    and shard; unknown names raise with the registry's available-names
+    message.
+    """
+    registry = default_registry()
+    algorithms = tuple(
+        registry.canonical(algorithm)
+        for algorithm in (tuple(campaign.algorithms) or ALGORITHMS)
+    )
     experiment = campaign.experiment
     cells = [
         CampaignCell(
             algorithm=algorithm,
             application=application,
             num_objectives=num_objectives,
-            seed=_derived_seed(experiment, algorithm.upper(), application, num_objectives),
+            seed=_derived_seed(experiment, algorithm, application, num_objectives),
         )
         for algorithm in algorithms
         for application in experiment.applications
@@ -331,12 +314,19 @@ def load_campaign_results(output_dir: "str | Path") -> Iterator[tuple[CampaignCe
             yield cell, load_result(output_dir / cell.shard_name)
 
 
-def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir: str) -> dict[str, Any]:
+def _run_campaign_cell(
+    campaign: CampaignConfig,
+    cell: CampaignCell,
+    output_dir: str,
+    on_event: EventCallback | None = None,
+) -> dict[str, Any]:
     """Run one grid cell and stream its result to the cell's shard.
 
     Executed inside pool workers, so it takes only picklable arguments and
     writes the (potentially large) result to disk in the worker instead of
-    shipping it back to the parent.
+    shipping it back to the parent.  ``on_event`` (inline execution only —
+    callbacks do not cross the process boundary) additionally streams the
+    cell's per-iteration optimiser events.
     """
     experiment = campaign.experiment
     problem = make_problem(
@@ -350,6 +340,7 @@ def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir:
             experiment,
             budget=Budget.evaluations(campaign.cell_budget),
             seed=cell.seed,
+            on_event=on_event,
         )
         routing_stats = problem.routing_cache_stats()
         payload = result_to_dict(result)
@@ -368,7 +359,26 @@ def _run_campaign_cell(campaign: CampaignConfig, cell: CampaignCell, output_dir:
     }
 
 
-def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> CampaignSummary:
+def _cell_event(kind: str, cell: CampaignCell, **payload: Any) -> StudyEvent:
+    """Shard-level progress event for one campaign cell."""
+    evaluations = payload.pop("evaluations", None)
+    elapsed = payload.pop("elapsed_seconds", 0.0)
+    return StudyEvent(
+        kind=kind,
+        algorithm=cell.algorithm,
+        application=cell.application,
+        num_objectives=cell.num_objectives,
+        evaluations=evaluations,
+        elapsed_seconds=elapsed,
+        payload={"key": cell.key, **payload},
+    )
+
+
+def run_campaign(
+    campaign: CampaignConfig,
+    output_dir: "str | Path",
+    on_event: EventCallback | None = None,
+) -> CampaignSummary:
     """Run (or resume) a sharded campaign over the full algorithm/problem grid.
 
     The manifest covering the *entire* grid is written first, then every cell
@@ -377,6 +387,17 @@ def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> Campaign
     atomically on completion, so killing the campaign at any point loses at
     most the in-flight cells; re-running with ``resume=True`` (the default)
     skips every completed cell.
+
+    ``on_event`` streams structured progress instead of silence:
+    ``campaign_started``, one ``shard_skipped``/``shard_started`` per cell,
+    ``shard_finished`` with the cell's evaluation count and routing-cache
+    counters (in completion order under a process pool), and
+    ``campaign_finished`` with the folded cache summary.  Inline campaigns
+    (``max_workers == 1``) additionally forward every cell's per-iteration
+    optimiser events; pool workers only report shard completions, because
+    callbacks do not cross the process boundary — there, ``shard_started``
+    marks *submission* to the pool (``payload["queued"] = True``), not the
+    worker-side start.
     """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -405,18 +426,60 @@ def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> Campaign
         done = set()
     pending = [cell for cell in cells if cell.key not in done]
 
+    if on_event is not None:
+        on_event(
+            StudyEvent(
+                kind="campaign_started",
+                payload={
+                    "cells": len(cells),
+                    "pending": len(pending),
+                    "skipped": len(cells) - len(pending),
+                    "output_dir": str(output_dir),
+                },
+            )
+        )
+        for cell in cells:
+            if cell.key in done:
+                on_event(_cell_event("shard_skipped", cell))
+
     if campaign.max_workers > 1 and len(pending) > 1:
         workers = min(campaign.max_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_campaign_cell, campaign, cell, str(output_dir))
-                for cell in pending
-            ]
+            futures = {}
+            for cell in pending:
+                if on_event is not None:
+                    # Pool mode cannot observe the worker-side start, so
+                    # shard_started marks *submission*; payload["queued"]
+                    # distinguishes it from an inline start.
+                    on_event(_cell_event("shard_started", cell, queued=True))
+                futures[pool.submit(_run_campaign_cell, campaign, cell, str(output_dir))] = cell
             for future in as_completed(futures):
-                future.result()
+                outcome = future.result()
+                if on_event is not None:
+                    on_event(
+                        _cell_event(
+                            "shard_finished",
+                            futures[future],
+                            evaluations=outcome["evaluations"],
+                            elapsed_seconds=outcome["elapsed_seconds"],
+                            routing_cache=outcome["routing_cache"],
+                        )
+                    )
     else:
         for cell in pending:
-            _run_campaign_cell(campaign, cell, str(output_dir))
+            if on_event is not None:
+                on_event(_cell_event("shard_started", cell))
+            outcome = _run_campaign_cell(campaign, cell, str(output_dir), on_event=on_event)
+            if on_event is not None:
+                on_event(
+                    _cell_event(
+                        "shard_finished",
+                        cell,
+                        evaluations=outcome["evaluations"],
+                        elapsed_seconds=outcome["elapsed_seconds"],
+                        routing_cache=outcome["routing_cache"],
+                    )
+                )
 
     # Fold every completed shard's routing-engine counters into the manifest
     # so a finished campaign reports its cache effectiveness without anyone
@@ -425,6 +488,19 @@ def run_campaign(campaign: CampaignConfig, output_dir: "str | Path") -> Campaign
     manifest_payload = _manifest_payload(campaign, cells)
     manifest_payload["routing_cache"] = routing_stats
     write_json_atomic(manifest_payload, manifest_path)
+
+    if on_event is not None:
+        on_event(
+            StudyEvent(
+                kind="campaign_finished",
+                payload={
+                    "executed": len(pending),
+                    "skipped": len(cells) - len(pending),
+                    "routing_cache": routing_stats,
+                    "output_dir": str(output_dir),
+                },
+            )
+        )
 
     return CampaignSummary(
         output_dir=output_dir,

@@ -16,6 +16,7 @@ from repro.moo.dominance import non_dominated_mask
 from repro.moo.problem import Problem
 from repro.moo.result import OptimizationResult, SearchSnapshot
 from repro.moo.termination import Budget, StopWatch
+from repro.study.events import EventCallback, StudyEvent
 from repro.utils.rng import ensure_rng
 
 
@@ -58,6 +59,12 @@ class PopulationOptimizer:
         self.evaluations = 0
         self.history: list[SearchSnapshot] = []
         self._watch: StopWatch | None = None
+        # Progress streaming (see repro.study.events): when set, run() emits a
+        # StudyEvent after initialisation and after every iteration.  Events
+        # are built from read-only counters after all RNG consumption, so a
+        # subscribed run stays bit-identical to a silent one.
+        self.on_event: EventCallback | None = None
+        self.event_context: dict[str, Any] = {}
 
     # ------------------------------------------------------------------ #
     # Template method
@@ -69,12 +76,16 @@ class PopulationOptimizer:
         self.history = []
         self.initialize()
         self.record_snapshot(iteration=0)
+        self.emit_event("run_started", iteration=0)
         iteration = 0
         while not budget.exhausted(iteration, self.evaluations, self._watch.elapsed()):
             iteration += 1
             self.step(iteration, budget)
             self.record_snapshot(iteration)
-        return self.build_result()
+            self.emit_event("iteration", iteration=iteration)
+        result = self.build_result()
+        self.emit_event("run_finished", iteration=iteration)
+        return result
 
     def initialize(self) -> None:
         """Create and evaluate the initial population (random by default).
@@ -146,6 +157,43 @@ class PopulationOptimizer:
     def elapsed(self) -> float:
         """Seconds since :meth:`run` started."""
         return self._watch.elapsed() if self._watch is not None else 0.0
+
+    def emit_event(self, kind: str, iteration: int, payload: "dict[str, Any] | None" = None) -> None:
+        """Send one :class:`~repro.study.events.StudyEvent` to the subscriber.
+
+        No-op without a subscriber.  Emission is observation-only: the event
+        is assembled from the archive/evaluation counters *after* the
+        iteration's RNG consumption, so subscribing cannot change a seeded
+        trajectory.  ``event_context`` (set by the dispatch layer) supplies
+        the run identity; sensible defaults are derived from the optimiser
+        and problem when it is empty.
+        """
+        if self.on_event is None:
+            return
+        # record_snapshot already computed the archive front for this
+        # iteration; reuse it instead of paying the non-dominated sort twice.
+        front_size = len(self.history[-1].front) if self.history else len(self.current_front())
+        data: dict[str, Any] = {"front_size": int(front_size)}
+        stats_fn = getattr(self.problem, "routing_cache_stats", None)
+        if callable(stats_fn):
+            data["routing_cache"] = stats_fn()
+        if payload:
+            data.update(payload)
+        context = self.event_context
+        self.on_event(
+            StudyEvent(
+                kind=kind,
+                algorithm=context.get("algorithm", self.name),
+                application=context.get(
+                    "application", getattr(getattr(self.problem, "workload", None), "name", None)
+                ),
+                num_objectives=context.get("num_objectives", self.problem.num_objectives),
+                iteration=iteration,
+                evaluations=int(self.evaluations),
+                elapsed_seconds=float(self.elapsed()),
+                payload=data,
+            )
+        )
 
     def current_front(self) -> np.ndarray:
         """Non-dominated front of the designs evaluated so far (archive-based)."""

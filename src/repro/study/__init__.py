@@ -1,0 +1,56 @@
+"""The study layer: unified front-door API for runs, comparisons and campaigns.
+
+* :mod:`repro.study.registry` — the :class:`OptimizerRegistry` every dispatch
+  path resolves algorithm names through; third-party optimisers plug in via
+  :func:`register_optimizer`.
+* :mod:`repro.study.optimizers` — the five baseline specs (self-registered).
+* :mod:`repro.study.events` — the :class:`StudyEvent` streaming-progress
+  protocol emitted by optimisers, campaigns and studies.
+* :mod:`repro.study.study` — the :class:`Study` façade (fluent or declarative
+  TOML/JSON construction) and its unified :class:`StudyResult`.
+
+Heavy submodules are re-exported lazily (PEP 562): :mod:`repro.moo.base`
+imports :mod:`repro.study.events` from far below this layer, so this
+``__init__`` must stay import-light.
+"""
+
+from __future__ import annotations
+
+from repro.study.events import EVENT_KINDS, EventCallback, StudyEvent
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventCallback",
+    "OptimizerRegistry",
+    "OptimizerSpec",
+    "Study",
+    "StudyEvent",
+    "StudyResult",
+    "canonical_key",
+    "default_registry",
+    "register_optimizer",
+]
+
+_LAZY = {
+    "OptimizerRegistry": ("repro.study.registry", "OptimizerRegistry"),
+    "OptimizerSpec": ("repro.study.registry", "OptimizerSpec"),
+    "canonical_key": ("repro.study.registry", "canonical_key"),
+    "default_registry": ("repro.study.registry", "default_registry"),
+    "register_optimizer": ("repro.study.registry", "register_optimizer"),
+    "Study": ("repro.study.study", "Study"),
+    "StudyResult": ("repro.study.study", "StudyResult"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attribute = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    from importlib import import_module
+
+    return getattr(import_module(module_name), attribute)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY))

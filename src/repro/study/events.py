@@ -1,0 +1,101 @@
+"""Streaming progress events for studies, runs and campaigns.
+
+Long campaigns used to be silent until the last shard landed.  This module
+defines the lightweight event protocol that fixes that: optimisers emit a
+:class:`StudyEvent` per iteration (from
+:meth:`repro.moo.base.PopulationOptimizer.run`), the campaign engine emits one
+per shard start/completion, and the :class:`~repro.study.study.Study` façade
+brackets everything with study-level events.  Consumers subscribe by passing
+any ``Callable[[StudyEvent], None]`` — there is no broker, no thread and no
+buffering, so emission can never perturb a seeded search (events are built
+from read-only counters after all RNG consumption of the iteration).
+
+This module is intentionally dependency-free (dataclasses only): it is
+imported by :mod:`repro.moo.base`, which sits far below the study layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+#: Event kinds emitted by optimisers (``run_*``/``iteration``), the campaign
+#: engine (``campaign_*``/``shard_*``) and the Study façade (``study_*``).
+EVENT_KINDS: tuple[str, ...] = (
+    "study_started",
+    "run_started",
+    "iteration",
+    "run_finished",
+    "campaign_started",
+    "shard_started",
+    "shard_skipped",
+    "shard_finished",
+    "campaign_finished",
+    "study_finished",
+)
+
+
+@dataclass(frozen=True)
+class StudyEvent:
+    """One structured progress event.
+
+    Parameters
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    algorithm, application, num_objectives:
+        Identity of the run (or campaign cell) the event belongs to; ``None``
+        for study/campaign-level events that span several runs.
+    iteration:
+        Optimiser iteration the event was emitted after (``run_*`` and
+        ``iteration`` events only).
+    evaluations:
+        Objective evaluations consumed so far by the emitting run, or by the
+        finished cell for ``shard_finished``.  Within one run this is
+        monotonically non-decreasing.
+    elapsed_seconds:
+        Wall-clock seconds since the emitting run/campaign started.
+    payload:
+        Kind-specific extras: ``front_size`` and ``routing_cache`` counters on
+        run events, the cell ``key`` on shard events, executed/skipped counts
+        on ``campaign_finished``.
+    """
+
+    kind: str
+    algorithm: "str | None" = None
+    application: "str | None" = None
+    num_objectives: "int | None" = None
+    iteration: "int | None" = None
+    evaluations: "int | None" = None
+    elapsed_seconds: float = 0.0
+    payload: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; known: {EVENT_KINDS}")
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (used by the CLI progress mode)."""
+        scope = ""
+        if self.algorithm is not None:
+            where = f"{self.application}/{self.num_objectives}-obj" if self.application else ""
+            scope = f"[{self.algorithm}{' ' + where if where else ''}] "
+        bits = [self.kind.replace("_", " ")]
+        if self.iteration is not None and self.kind == "iteration":
+            bits = [f"iteration {self.iteration}"]
+        if self.evaluations is not None:
+            bits.append(f"evaluations={self.evaluations}")
+        front = self.payload.get("front_size")
+        if front is not None:
+            bits.append(f"front={front}")
+        stats = self.payload.get("routing_cache")
+        if isinstance(stats, Mapping) and stats.get("requests"):
+            bits.append(f"cache-hit-rate={stats.get('hit_rate', 0.0):.0%}")
+        key = self.payload.get("key")
+        if key is not None:
+            bits.append(str(key))
+        return scope + " ".join(bits)
+
+
+#: Signature every event consumer implements.
+EventCallback = Callable[[StudyEvent], None]

@@ -1,0 +1,224 @@
+"""String-keyed registry of optimiser specifications.
+
+This is the front door every dispatch path goes through:
+:func:`repro.experiments.runner.run_algorithm`, the campaign grid builder,
+the :class:`~repro.study.study.Study` façade and the ``python -m repro`` CLI
+all resolve algorithm names here instead of hard-coding an if/elif chain.
+Third-party optimisers plug in by registering an :class:`OptimizerSpec`
+(:func:`register_optimizer`) — no change to ``repro/experiments`` required.
+
+Name handling is normalised in exactly one place: :func:`canonical_key`
+strips separators and case, so ``"MOEA/D"``, ``"MOEAD"`` and ``"moea-d"``
+all resolve to the same spec (the alias special-cases that used to live in
+``run_campaign``'s validation are gone).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+from repro.moo.termination import Budget
+
+if TYPE_CHECKING:  # imported lazily to keep this module cycle-free
+    from repro.experiments.config import ExperimentConfig
+    from repro.moo.base import PopulationOptimizer
+    from repro.moo.problem import Problem
+
+#: ``factory(problem, experiment, seed, **options) -> optimizer``; ``options``
+#: are validated against the spec's declared hyperparameter schema first.
+OptimizerFactory = Callable[..., "PopulationOptimizer"]
+
+
+def canonical_key(name: str) -> str:
+    """Case- and separator-insensitive lookup key for an algorithm name.
+
+    ``"MOEA/D"``, ``"moead"`` and ``"MOEA-D"`` all map to ``"MOEAD"`` — this
+    is the single place alias spellings are normalised.
+    """
+    key = re.sub(r"[^A-Z0-9]+", "", str(name).upper())
+    if not key:
+        raise ValueError(f"algorithm name {name!r} has no alphanumeric characters")
+    return key
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Everything the front door needs to know about one optimiser.
+
+    Parameters
+    ----------
+    name:
+        Canonical display name (``"MOEA/D"``); used in results, manifests,
+        tables and derived seeds.
+    factory:
+        ``factory(problem, experiment, seed, **options)`` building a
+        ready-to-run optimiser.  The factory owns the mapping from the shared
+        :class:`~repro.experiments.config.ExperimentConfig` onto the
+        optimiser's constructor so every dispatch path wires budgets and
+        hyper-parameters identically.
+    hyperparameters:
+        Declared override schema: option name -> one-line description.  Any
+        option not declared here is rejected before the factory runs.
+    aliases:
+        Additional accepted spellings (beyond what :func:`canonical_key`
+        already folds together).
+    description:
+        One-line summary shown by ``python -m repro run --list``.
+    default_budget:
+        Optional ``experiment -> Budget`` override; the default wires
+        ``Budget.evaluations(experiment.max_evaluations)``.
+    """
+
+    name: str
+    factory: OptimizerFactory
+    hyperparameters: Mapping[str, str] = field(default_factory=dict)
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    default_budget: "Callable[[ExperimentConfig], Budget] | None" = None
+
+    def budget_for(self, experiment: "ExperimentConfig") -> Budget:
+        """The budget a run gets when the caller does not pass one."""
+        if self.default_budget is not None:
+            return self.default_budget(experiment)
+        return Budget.evaluations(experiment.max_evaluations)
+
+    def validate_options(self, options: Mapping[str, Any]) -> None:
+        """Reject overrides that are not part of the declared schema."""
+        unknown = sorted(set(options) - set(self.hyperparameters))
+        if unknown:
+            declared = ", ".join(sorted(self.hyperparameters)) or "(none)"
+            raise ValueError(
+                f"unknown hyperparameters {unknown} for optimizer {self.name!r}; "
+                f"declared: {declared}"
+            )
+
+    def create(
+        self,
+        problem: "Problem",
+        experiment: "ExperimentConfig",
+        seed: int,
+        **options: Any,
+    ) -> "PopulationOptimizer":
+        """Validate ``options`` against the schema and build the optimiser."""
+        self.validate_options(options)
+        return self.factory(problem, experiment, seed, **options)
+
+
+class OptimizerRegistry:
+    """Registry of :class:`OptimizerSpec` keyed by canonicalised name."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, OptimizerSpec] = {}  # canonical name -> spec
+        self._index: dict[str, str] = {}  # canonical_key -> canonical name
+
+    def register(self, spec: OptimizerSpec, overwrite: bool = False) -> OptimizerSpec:
+        """Add a spec under its name and aliases; returns the spec.
+
+        With ``overwrite=False`` a key collision with a *different* optimiser
+        raises; re-registering the same name overwrites silently only when
+        ``overwrite=True``.
+        """
+        keys = {canonical_key(spec.name)}
+        keys.update(canonical_key(alias) for alias in spec.aliases)
+        if not overwrite:
+            for key in sorted(keys):
+                owner = self._index.get(key)
+                if owner is not None and owner != spec.name:
+                    raise ValueError(
+                        f"name {spec.name!r} (key {key!r}) collides with registered "
+                        f"optimizer {owner!r}; pass overwrite=True to replace it"
+                    )
+            if spec.name in self._specs:
+                raise ValueError(
+                    f"optimizer {spec.name!r} is already registered; "
+                    "pass overwrite=True to replace it"
+                )
+        stale = [k for k, owner in self._index.items() if owner == spec.name]
+        for key in stale:
+            del self._index[key]
+        self._specs[spec.name] = spec
+        for key in keys:
+            self._index[key] = spec.name
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove an optimiser (and all its lookup keys) from the registry."""
+        canonical = self.canonical(name)
+        del self._specs[canonical]
+        for key in [k for k, owner in self._index.items() if owner == canonical]:
+            del self._index[key]
+
+    def names(self) -> tuple[str, ...]:
+        """Canonical names in registration order."""
+        return tuple(self._specs)
+
+    def available_message(self) -> str:
+        """Rendering of the registered names used in every lookup error."""
+        return ", ".join(self.names()) or "(no optimizers registered)"
+
+    def __contains__(self, name: object) -> bool:
+        try:
+            return canonical_key(str(name)) in self._index
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def spec(self, name: str) -> OptimizerSpec:
+        """Resolve any accepted spelling to its spec (``ValueError`` on miss)."""
+        canonical = self._index.get(canonical_key(name))
+        if canonical is None:
+            raise ValueError(
+                f"unknown algorithm {name!r}; available: {self.available_message()}"
+            )
+        return self._specs[canonical]
+
+    def canonical(self, name: str) -> str:
+        """Canonical display name for any accepted spelling."""
+        return self.spec(name).name
+
+    def create(
+        self,
+        name: str,
+        problem: "Problem",
+        experiment: "ExperimentConfig",
+        seed: int,
+        **options: Any,
+    ) -> "PopulationOptimizer":
+        """Build a ready-to-run optimiser for any accepted spelling."""
+        return self.spec(name).create(problem, experiment, seed, **options)
+
+
+_DEFAULT_REGISTRY = OptimizerRegistry()
+_BUILTINS_LOADED = False
+
+
+def default_registry() -> OptimizerRegistry:
+    """The process-wide registry, with the five baselines pre-registered.
+
+    The baseline specs live in :mod:`repro.study.optimizers` and self-register
+    on first access (lazily, so importing this module never drags in the
+    optimiser implementations).
+    """
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        # Flag before the import so the registration calls inside
+        # repro.study.optimizers (which go through register_optimizer ->
+        # default_registry) do not recurse into the import; reset on failure
+        # so a broken first import stays retryable and diagnosable instead of
+        # leaving the process with a silently empty registry.
+        _BUILTINS_LOADED = True
+        try:
+            import repro.study.optimizers  # noqa: F401  (registers the baselines)
+        except BaseException:
+            _BUILTINS_LOADED = False
+            raise
+    return _DEFAULT_REGISTRY
+
+
+def register_optimizer(spec: OptimizerSpec, overwrite: bool = False) -> OptimizerSpec:
+    """Register a spec with the default registry (third-party entry point)."""
+    return default_registry().register(spec, overwrite=overwrite)

@@ -63,7 +63,13 @@ def load_design(path: "str | Path") -> NocDesign:
 
 
 def platform_to_dict(config: PlatformConfig) -> dict[str, Any]:
-    """Convert a platform configuration to a JSON-serialisable dictionary."""
+    """Convert a platform configuration to a JSON-serialisable dictionary.
+
+    Every constructor field is included (the energy/thermal/frequency
+    constants too), so ``PlatformConfig(**platform_to_dict(config))``
+    round-trips exactly — `Study.to_dict` relies on this for custom
+    platforms.
+    """
     return {
         "name": config.name,
         "n": config.n,
@@ -76,6 +82,12 @@ def platform_to_dict(config: PlatformConfig) -> dict[str, Any]:
         "max_planar_length": config.max_planar_length,
         "max_router_degree": config.max_router_degree,
         "router_stages": config.router_stages,
+        "link_energy_per_flit": config.link_energy_per_flit,
+        "router_energy_per_port": config.router_energy_per_port,
+        "vertical_resistance": config.vertical_resistance,
+        "base_resistance": config.base_resistance,
+        "cpu_frequency_ghz": config.cpu_frequency_ghz,
+        "gpu_frequency_ghz": config.gpu_frequency_ghz,
     }
 
 

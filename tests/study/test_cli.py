@@ -1,0 +1,136 @@
+"""Tests for the ``python -m repro`` command-line front door."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_registered_optimizers(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("MOELA", "MOEA/D", "MOOS", "MOO-STAGE", "NSGA-II"):
+            assert name in out
+
+    def test_verbose_lists_hyperparameters(self, capsys):
+        assert main(["list", "-v"]) == 0
+        assert "population_size" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_single_run_via_flags(self, capsys):
+        code = main([
+            "run", "--preset", "smoke", "--platform", "tiny", "--apps", "BFS",
+            "--objectives", "3", "--algorithms", "nsga2", "--evaluations", "30",
+            "--no-progress",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NSGA-II" in out and "routing cache" in out
+
+    def test_comparison_renders_tables_and_progress(self, capsys):
+        code = main([
+            "run", "--preset", "smoke", "--platform", "tiny", "--apps", "BFS",
+            "--objectives", "3", "--algorithms", "moead", "nsga2",
+            "--evaluations", "30",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+        assert "run started" in out  # streamed progress events
+
+    def test_config_file_drives_the_run(self, tmp_path, capsys):
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({
+            "preset": "smoke",
+            "platform": "tiny",
+            "applications": ["BFS"],
+            "objectives": [3],
+            "algorithms": ["NSGA-II"],
+            "evaluations": 30,
+        }))
+        assert main(["run", "--config", str(config), "--no-progress"]) == 0
+        assert "NSGA-II" in capsys.readouterr().out
+
+    def test_unknown_algorithm_fails_cleanly(self, capsys):
+        code = main([
+            "run", "--preset", "smoke", "--algorithms", "WARP-DRIVE",
+            "--no-progress",
+        ])
+        assert code == 2
+        assert "available: MOELA" in capsys.readouterr().err
+
+    def test_unknown_config_key_fails_cleanly(self, tmp_path, capsys):
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({"preset": "smoke", "colour": "blue"}))
+        assert main(["run", "--config", str(config), "--no-progress"]) == 2
+        assert "unknown study keys" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def campaign_dir(tmp_path):
+    return tmp_path / "campaign"
+
+
+class TestCampaignAndTables:
+    def _campaign(self, campaign_dir, *extra):
+        return main([
+            "campaign", "--preset", "smoke", "--apps", "BFS",
+            "--algorithms", "MOEA/D", "NSGA-II", "--evaluations", "30",
+            "--output-dir", str(campaign_dir), "--no-progress", *extra,
+        ])
+
+    def test_campaign_runs_resumes_and_renders_tables(self, campaign_dir, capsys):
+        assert self._campaign(campaign_dir) == 0
+        out = capsys.readouterr().out
+        assert "executed 2 cells, skipped 0" in out
+        assert (campaign_dir / "manifest.json").exists()
+
+        assert self._campaign(campaign_dir, "--tables") == 0
+        out = capsys.readouterr().out
+        assert "executed 0 cells, skipped 2" in out
+        assert "Table I" in out
+
+        assert main(["tables", "--output-dir", str(campaign_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Table II" in out
+
+    def test_campaign_streams_shard_events(self, campaign_dir, capsys):
+        # Progress streaming is on by default (no --no-progress here).
+        code = main([
+            "campaign", "--preset", "smoke", "--apps", "BP",
+            "--algorithms", "NSGA-II", "--evaluations", "30",
+            "--output-dir", str(campaign_dir / "events"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign started" in out and "shard finished" in out
+
+    def test_campaign_settings_from_config_file_are_respected(self, tmp_path, capsys):
+        """max_workers / output_dir from the config's campaign section apply
+        when the matching flags are not passed."""
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({
+            "preset": "smoke",
+            "applications": ["BFS"],
+            "algorithms": ["NSGA-II"],
+            "evaluations": 30,
+            "campaign": {"output_dir": str(tmp_path / "out"), "max_workers": 2},
+        }))
+        assert main(["campaign", "--config", str(config), "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+        assert (tmp_path / "out" / "manifest.json").exists()
+
+    def test_campaign_without_output_dir_fails(self, capsys):
+        assert main(["campaign", "--preset", "smoke", "--no-progress"]) == 2
+        assert "--output-dir" in capsys.readouterr().err
+
+    def test_tables_on_empty_directory_fails(self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text(json.dumps({
+            "format": "repro-campaign/1", "cells": [],
+        }))
+        assert main(["tables", "--output-dir", str(tmp_path)]) == 1
+        assert "no completed shards" in capsys.readouterr().err

@@ -1,0 +1,154 @@
+"""Tests for the streaming progress-event protocol (StudyEvent)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import CampaignConfig, ExperimentConfig
+from repro.experiments.runner import campaign_cells, make_problem, run_algorithm, run_campaign
+from repro.moo.termination import Budget
+from repro.study.events import EVENT_KINDS, StudyEvent
+from repro.study.study import Study
+
+from dataclasses import replace
+
+
+@pytest.fixture(scope="module")
+def smoke_experiment():
+    return ExperimentConfig.smoke()
+
+
+class TestStudyEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            StudyEvent(kind="telegram")
+
+    def test_describe_mentions_identity_and_counters(self):
+        event = StudyEvent(
+            kind="iteration",
+            algorithm="MOELA",
+            application="BFS",
+            num_objectives=3,
+            iteration=4,
+            evaluations=120,
+            payload={"front_size": 5},
+        )
+        text = event.describe()
+        assert "MOELA" in text and "BFS/3-obj" in text
+        assert "iteration 4" in text and "evaluations=120" in text and "front=5" in text
+
+
+class TestOptimizerEvents:
+    """Acceptance criterion: events arrive ordered with monotonic evaluation
+    counts while leaving results unchanged."""
+
+    @pytest.mark.parametrize("algorithm", ["MOELA", "MOEA/D", "NSGA-II"])
+    def test_events_ordered_monotonic_and_result_unchanged(self, smoke_experiment, algorithm):
+        budget = Budget.evaluations(60)
+        silent = run_algorithm(
+            algorithm, make_problem(smoke_experiment, "BFS", 3), smoke_experiment, budget=budget
+        )
+
+        events: list[StudyEvent] = []
+        observed = run_algorithm(
+            algorithm,
+            make_problem(smoke_experiment, "BFS", 3),
+            smoke_experiment,
+            budget=budget,
+            on_event=events.append,
+        )
+
+        # Subscribing must not perturb the seeded search.
+        assert observed.evaluations == silent.evaluations
+        assert np.array_equal(observed.objectives, silent.objectives)
+        assert len(observed.history) == len(silent.history)
+
+        # Ordering: run_started, then iterations, then run_finished.
+        assert [e.kind for e in events[:1]] == ["run_started"]
+        assert events[-1].kind == "run_finished"
+        assert all(e.kind == "iteration" for e in events[1:-1])
+        assert len(events) >= 3
+
+        # Identity and monotonic counters.
+        for event in events:
+            assert event.kind in EVENT_KINDS
+            assert event.algorithm == observed.algorithm
+            assert event.application == "BFS"
+            assert event.num_objectives == 3
+            assert event.payload["front_size"] >= 1
+        evaluation_counts = [e.evaluations for e in events]
+        assert all(a <= b for a, b in zip(evaluation_counts, evaluation_counts[1:]))
+        assert evaluation_counts[-1] == observed.evaluations
+        iterations = [e.iteration for e in events[1:-1]]
+        assert iterations == sorted(iterations)
+
+    def test_events_carry_routing_cache_counters(self, smoke_experiment):
+        events: list[StudyEvent] = []
+        run_algorithm(
+            "MOEA/D",
+            make_problem(smoke_experiment, "BFS", 3),
+            smoke_experiment,
+            budget=Budget.evaluations(40),
+            on_event=events.append,
+        )
+        final = events[-1].payload["routing_cache"]
+        assert final["enabled"] is True
+        assert final["requests"] > 0
+
+
+class TestCampaignEvents:
+    def test_campaign_streams_shard_lifecycle(self, tmp_path):
+        campaign = CampaignConfig(
+            experiment=replace(ExperimentConfig.smoke(), applications=("BFS", "BP")),
+            algorithms=("MOEA/D", "NSGA-II"),
+            max_evaluations=40,
+        )
+        events: list[StudyEvent] = []
+        run_campaign(campaign, tmp_path, on_event=events.append)
+
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "campaign_started"
+        assert kinds[-1] == "campaign_finished"
+        assert kinds.count("shard_started") == 4
+        assert kinds.count("shard_finished") == 4
+        # Inline campaigns forward the per-iteration optimiser events too.
+        assert kinds.count("run_started") == 4 and "iteration" in kinds
+
+        finished = [e for e in events if e.kind == "shard_finished"]
+        assert {e.payload["key"] for e in finished} == {
+            cell.key for cell in campaign_cells(campaign)
+        }
+        for event in finished:
+            assert event.evaluations == 40
+            assert "routing_cache" in event.payload
+        summary = events[-1].payload
+        assert summary["executed"] == 4 and summary["skipped"] == 0
+        assert summary["routing_cache"]["requests"] > 0
+
+    def test_resumed_campaign_emits_shard_skipped(self, tmp_path):
+        campaign = CampaignConfig(
+            experiment=ExperimentConfig.smoke(),
+            algorithms=("NSGA-II",),
+            max_evaluations=30,
+        )
+        run_campaign(campaign, tmp_path)
+        events: list[StudyEvent] = []
+        run_campaign(campaign, tmp_path, on_event=events.append)
+        kinds = [e.kind for e in events]
+        assert kinds == ["campaign_started", "shard_skipped", "campaign_finished"]
+
+
+class TestStudyLevelEvents:
+    def test_study_brackets_runs_with_study_events(self):
+        events: list[StudyEvent] = []
+        (
+            Study(platform="tiny", objectives=3, preset="smoke")
+            .apps("BFS")
+            .algorithms("NSGA-II")
+            .evaluations(30)
+            .on_event(events.append)
+            .run()
+        )
+        kinds = [e.kind for e in events]
+        assert kinds[0] == "study_started" and kinds[-1] == "study_finished"
+        assert "run_started" in kinds and "run_finished" in kinds
+        assert events[0].payload["algorithms"] == ["NSGA-II"]

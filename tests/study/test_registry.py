@@ -1,0 +1,148 @@
+"""Tests for the optimizer registry (canonicalization, specs, plug-ins)."""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import make_problem
+from repro.moo.base import PopulationOptimizer
+from repro.moo.termination import Budget
+from repro.study.registry import (
+    OptimizerRegistry,
+    OptimizerSpec,
+    canonical_key,
+    default_registry,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_experiment():
+    return ExperimentConfig.smoke()
+
+
+class TestCanonicalKey:
+    @pytest.mark.parametrize(
+        ("spelling", "key"),
+        [
+            ("MOEA/D", "MOEAD"),
+            ("MOEAD", "MOEAD"),
+            ("moea-d", "MOEAD"),
+            ("MOO-STAGE", "MOOSTAGE"),
+            ("moo_stage", "MOOSTAGE"),
+            ("NSGA-II", "NSGAII"),
+            ("moela", "MOELA"),
+        ],
+    )
+    def test_alias_spellings_fold_together(self, spelling, key):
+        assert canonical_key(spelling) == key
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(ValueError):
+            canonical_key("--/--")
+
+
+class TestDefaultRegistry:
+    def test_baselines_self_register(self):
+        registry = default_registry()
+        assert registry.names() == ("MOELA", "MOEA/D", "MOOS", "MOO-STAGE", "NSGA-II")
+
+    @pytest.mark.parametrize("spelling", ["MOEAD", "moea/d", "MOEA-D"])
+    def test_aliases_resolve_to_canonical(self, spelling):
+        assert default_registry().canonical(spelling) == "MOEA/D"
+
+    def test_nsga2_alias(self):
+        assert default_registry().canonical("nsga2") == "NSGA-II"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="available: MOELA, MOEA/D"):
+            default_registry().spec("SIMULATED-ANNEALING")
+
+    def test_contains(self):
+        registry = default_registry()
+        assert "moead" in registry and "NOPE" not in registry
+
+    def test_specs_declare_population_size(self):
+        registry = default_registry()
+        for name in registry.names():
+            assert "population_size" in registry.spec(name).hyperparameters
+
+    def test_default_budget_wires_experiment_evaluations(self, smoke_experiment):
+        spec = default_registry().spec("MOELA")
+        budget = spec.budget_for(smoke_experiment)
+        assert budget.max_evaluations == smoke_experiment.max_evaluations
+
+    def test_unknown_hyperparameter_rejected(self, smoke_experiment):
+        spec = default_registry().spec("NSGA-II")
+        problem = make_problem(smoke_experiment, "BFS", 3)
+        with pytest.raises(ValueError, match="unknown hyperparameters"):
+            spec.create(problem, smoke_experiment, seed=1, warp_factor=9)
+
+    def test_hyperparameter_override_reaches_optimizer(self, smoke_experiment):
+        problem = make_problem(smoke_experiment, "BFS", 3)
+        optimizer = default_registry().create(
+            "nsga-ii", problem, smoke_experiment, seed=1, population_size=4
+        )
+        assert optimizer.population_size == 4
+
+
+class TestRegistration:
+    def _spec(self, name="CUSTOM", **kwargs):
+        return OptimizerSpec(name=name, factory=lambda *a, **k: None, **kwargs)
+
+    def test_register_and_lookup(self):
+        registry = OptimizerRegistry()
+        registry.register(self._spec(aliases=("CST",)))
+        assert registry.canonical("custom") == "CUSTOM"
+        assert registry.canonical("cst") == "CUSTOM"
+        assert len(registry) == 1
+
+    def test_duplicate_rejected_without_overwrite(self):
+        registry = OptimizerRegistry()
+        registry.register(self._spec())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(self._spec())
+        registry.register(self._spec(), overwrite=True)
+
+    def test_alias_collision_rejected(self):
+        registry = OptimizerRegistry()
+        registry.register(self._spec())
+        with pytest.raises(ValueError, match="collides"):
+            registry.register(self._spec(name="OTHER", aliases=("CUSTOM",)))
+
+    def test_unregister_removes_all_keys(self):
+        registry = OptimizerRegistry()
+        registry.register(self._spec(aliases=("CST",)))
+        registry.unregister("cst")
+        assert "custom" not in registry and "cst" not in registry
+
+    def test_third_party_optimizer_runs_end_to_end(self, smoke_experiment):
+        """A registered spec dispatches through run_algorithm like a builtin."""
+        from repro.experiments.runner import run_algorithm
+        from repro.study.registry import register_optimizer
+
+        class RandomWalk(PopulationOptimizer):
+            name = "RANDOM-WALK"
+
+            def step(self, iteration, budget):
+                brood = [
+                    self.problem.neighbor(design, self.rng) for design in self.designs
+                ][: self.brood_limit(budget, self.population_size)]
+                if brood:
+                    self.evaluate_batch(brood)
+
+        spec = OptimizerSpec(
+            name="RANDOM-WALK",
+            factory=lambda problem, experiment, seed, **options: RandomWalk(
+                problem, population_size=experiment.population_size, rng=seed, **options
+            ),
+            hyperparameters={"population_size": "walkers"},
+        )
+        register_optimizer(spec)
+        try:
+            problem = make_problem(smoke_experiment, "BFS", 3)
+            result = run_algorithm(
+                "random-walk", problem, smoke_experiment, budget=Budget.evaluations(30)
+            )
+            assert result.algorithm == "RANDOM-WALK"
+            assert result.evaluations == 30
+        finally:
+            default_registry().unregister("RANDOM-WALK")
