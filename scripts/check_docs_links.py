@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Link-check the Markdown docs tree (no third-party dependencies).
+
+Scans every ``*.md`` under ``docs/`` plus the top-level ``README.md`` and
+``ROADMAP.md`` for Markdown links and verifies that
+
+* relative file targets exist (anchors are checked against the target file's
+  headings, GitHub-style slugs);
+* in-page anchors resolve to a heading;
+* no page under ``docs/`` is an orphan (unreachable from docs/index.md or
+  the README).
+
+External links (``http(s)://``) are *not* fetched — CI must not depend on
+the network — but obviously malformed ones (spaces) are rejected.
+
+Exit status: 0 clean, 1 broken links (each printed as ``file: message``).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted((REPO / "docs").glob("**/*.md")) + [REPO / "README.md", REPO / "ROADMAP.md"]
+
+#: ``[text](target)`` links, ignoring images' leading ``!``.
+LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+(?:\s+\"[^\"]*\")?)\)")
+#: Fenced code blocks are stripped before scanning (transcripts contain
+#: bracketed text that is not a link).
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to dashes."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\s-]", "", text, flags=re.UNICODE)
+    return re.sub(r"\s+", "-", text)
+
+
+def headings_of(path: Path) -> set[str]:
+    content = FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in HEADING.finditer(content)}
+
+
+def check() -> list[str]:
+    errors: list[str] = []
+    reachable: set[Path] = set()
+    for source in DOC_FILES:
+        if not source.exists():
+            errors.append(f"{source.relative_to(REPO)}: file missing")
+            continue
+        content = FENCE.sub("", source.read_text(encoding="utf-8"))
+        for match in LINK.finditer(content):
+            target = match.group(1).split('"')[0].strip()
+            where = f"{source.relative_to(REPO)}: link '{target}'"
+            if target.startswith(("http://", "https://")):
+                if " " in target:
+                    errors.append(f"{where} contains whitespace")
+                continue
+            if target.startswith("mailto:"):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # in-page anchor
+                if anchor and github_slug(anchor) not in headings_of(source):
+                    errors.append(f"{where} anchor not found in page")
+                continue
+            resolved = (source.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{where} target does not exist")
+                continue
+            if resolved.suffix == ".md":
+                reachable.add(resolved)
+                if anchor and github_slug(anchor) not in headings_of(resolved):
+                    errors.append(
+                        f"{where} anchor '#{anchor}' not found in "
+                        f"{resolved.relative_to(REPO)}"
+                    )
+    # Orphan check: every docs page must be linked from somewhere scanned.
+    for page in (REPO / "docs").glob("**/*.md"):
+        if page.resolve() not in reachable and page.name != "index.md":
+            errors.append(f"{page.relative_to(REPO)}: orphan page (link it from docs/index.md)")
+    return errors
+
+
+def main() -> int:
+    errors = check()
+    if errors:
+        print(f"{len(errors)} broken docs link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"docs links OK ({len(DOC_FILES)} files scanned)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

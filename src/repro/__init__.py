@@ -33,8 +33,15 @@ from deep modules: build a :class:`Study` (or an :class:`ExperimentConfig` /
 from repro.core.config import MOELAConfig
 from repro.core.moela import MOELA
 from repro.core.problem import NocDesignProblem
+from repro.experiments.compaction import CompactionSummary, compact_campaign
 from repro.experiments.config import CampaignConfig, ExperimentConfig
-from repro.experiments.runner import compare_algorithms, run_algorithm, run_campaign
+from repro.experiments.runner import (
+    CampaignExecution,
+    compare_algorithms,
+    run_algorithm,
+    run_campaign,
+    submit_campaign,
+)
 from repro.moo.result import OptimizationResult
 from repro.moo.termination import Budget
 from repro.noc.platform import PlatformConfig
@@ -52,6 +59,8 @@ from repro.workloads.registry import WorkloadRegistry, get_workload
 __all__ = [
     "Budget",
     "CampaignConfig",
+    "CampaignExecution",
+    "CompactionSummary",
     "EventCallback",
     "ExperimentConfig",
     "MOELA",
@@ -66,12 +75,14 @@ __all__ = [
     "StudyEvent",
     "StudyResult",
     "WorkloadRegistry",
+    "compact_campaign",
     "compare_algorithms",
     "default_registry",
     "get_workload",
     "register_optimizer",
     "run_algorithm",
     "run_campaign",
+    "submit_campaign",
 ]
 
 __version__ = "1.1.0"

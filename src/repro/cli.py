@@ -1,6 +1,7 @@
 """``python -m repro`` — the command-line front door, built on :class:`Study`.
 
-Three subcommands cover the package's workflows:
+Five subcommands cover the package's workflows (full reference with session
+transcripts in ``docs/cli.md``):
 
 ``run``
     Inline runs / comparisons: build a study from flags or a TOML/JSON config
@@ -9,10 +10,19 @@ Three subcommands cover the package's workflows:
 ``campaign``
     Sharded, resumable campaigns over the (algorithm x application x
     scenario) grid — the CLI twin of
-    :func:`repro.experiments.runner.run_campaign`.
+    :func:`repro.experiments.runner.run_campaign`.  ``--follow`` switches to
+    the non-blocking submit/poll handle and renders the durable event log
+    live (pooled workers' per-iteration events included).
 ``tables``
     Fold a finished (or partially finished) campaign directory into Table I /
-    Table II without re-running any cell.
+    Table II without re-running any cell — from loose shards or a compacted
+    rollup, transparently.
+``compact``
+    Roll a campaign's finished shards into the single indexed rollup file
+    (:func:`repro.experiments.compaction.compact_campaign`).
+``list``
+    Show the registered optimizers; ``--verbose`` adds each optimizer's
+    aliases and full hyperparameter schema.
 
 Every algorithm name is resolved through the optimizer registry, so
 registered third-party optimisers are first-class citizens here too.
@@ -24,11 +34,19 @@ import argparse
 import sys
 from typing import Any, Sequence
 
+from repro.experiments.compaction import compact_campaign
 from repro.experiments.tables import aggregate_campaign, format_table
 from repro.moo.hypervolume import reference_point_from
 from repro.study.events import StudyEvent
 from repro.study.registry import default_registry
 from repro.study.study import PLATFORM_FACTORIES, PRESETS, Study
+
+#: Pointer printed at the bottom of every ``--help`` page.
+DOCS_EPILOG = (
+    "Full documentation: docs/cli.md (command reference + transcripts), "
+    "docs/configuration.md (study file schema), docs/architecture.md "
+    "(evaluation pipeline), docs/performance.md (measured speedups)."
+)
 
 
 def _print_event(event: StudyEvent) -> None:
@@ -124,8 +142,37 @@ def _cmd_list(args: argparse.Namespace) -> int:
         spec = registry.spec(name)
         print(f"  {name:<12} {spec.description}")
         if args.verbose:
-            for option, doc in sorted(spec.hyperparameters.items()):
-                print(f"    {option:<24} {doc}")
+            # The full declared schema, exactly what Study.algorithm() /
+            # [algorithms.options] validate against (docs/configuration.md).
+            if spec.aliases:
+                print(f"    aliases: {', '.join(spec.aliases)}")
+            if spec.hyperparameters:
+                print("    hyperparameters:")
+                for option, doc in sorted(spec.hyperparameters.items()):
+                    print(f"      {option:<24} {doc}")
+            else:
+                print("    hyperparameters: (none declared)")
+    if args.verbose:
+        print("\nhyperparameters are set per algorithm via Study.algorithm(name, **options)")
+        print("or the [algorithms.options] table of a study file; see docs/configuration.md")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    summary = compact_campaign(args.output_dir)
+    if summary.total == 0:
+        print(f"error: no completed cells to compact under {args.output_dir} "
+              f"({len(summary.pending)} still pending)", file=sys.stderr)
+        return 1
+    print(f"rollup: {summary.rollup_path}")
+    print(f"  {summary.total} cells indexed "
+          f"({len(summary.compacted)} newly compacted, "
+          f"{len(summary.carried_over)} carried over from a previous rollup)")
+    if summary.removed_shards:
+        print(f"  removed {len(summary.removed_shards)} loose shard files")
+    if summary.pending:
+        print(f"  {len(summary.pending)} cells still pending "
+              "(resume the campaign, then compact again)")
     return 0
 
 
@@ -161,7 +208,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     # Start from the config file's campaign settings (if any) and only let
     # flags the user actually passed override them.
     settings = study.campaign_settings() or {"max_workers": 1, "resume": True,
-                                             "parallel_evaluation": None}
+                                             "parallel_evaluation": None,
+                                             "event_log": True}
     output_dir = args.output_dir or settings.get("output_dir")
     if not output_dir:
         print("error: campaign needs --output-dir (or a campaign.output_dir in --config)",
@@ -171,11 +219,17 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         settings["max_workers"] = args.workers
     if args.no_resume:
         settings["resume"] = False
+    if args.follow and not settings.get("event_log", True):
+        # --follow streams the durable log by definition; an explicit flag
+        # outranks the config file's event_log=false.
+        print("note: --follow enables the event log despite campaign.event_log=false")
+        settings["event_log"] = True
     study.campaign(
         output_dir,
         max_workers=settings["max_workers"],
         resume=settings["resume"],
         parallel_evaluation=settings["parallel_evaluation"],
+        event_log=settings.get("event_log", True),
     )
     campaign = study.campaign_config()
     experiment = campaign.experiment
@@ -187,8 +241,20 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
           f"workers={campaign.max_workers}, "
           f"parallel evaluation={campaign.resolve_parallel_evaluation()}")
 
-    study.on_event(_progress_callback(args))
-    result = study.run()
+    if args.follow:
+        # Non-blocking submit/poll: the handle tails the durable event log,
+        # so per-iteration events stream live even from pool workers.
+        execution = study.submit()
+        print(f"following {execution.output_dir / 'events.jsonl'} "
+              "(Ctrl-C detaches; the campaign keeps its durable log)")
+        callback = _progress_callback(args)
+        for event in execution.events():
+            if callback is not None:
+                callback(event)
+        result = study.collect(execution.wait())
+    else:
+        study.on_event(_progress_callback(args))
+        result = study.run()
     summary = result.campaign
     print(f"executed {len(summary.executed)} cells, skipped {len(summary.skipped)} "
           f"already-completed cells (delete a shard and re-run to redo one cell)")
@@ -219,11 +285,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MOELA reproduction front door: runs, campaigns and tables.",
+        epilog=DOCS_EPILOG,
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser(
-        "run", help="run one or more algorithms inline and compare them"
+        "run", help="run one or more algorithms inline and compare them",
+        epilog=DOCS_EPILOG,
     )
     _add_study_arguments(run_parser)
     run_parser.add_argument("--measure", default="evaluations",
@@ -232,7 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.set_defaults(handler=_cmd_run)
 
     campaign_parser = subparsers.add_parser(
-        "campaign", help="run (or resume) a sharded campaign over the full grid"
+        "campaign", help="run (or resume) a sharded campaign over the full grid",
+        epilog=DOCS_EPILOG,
     )
     _add_study_arguments(campaign_parser)
     campaign_parser.add_argument("--output-dir", help="campaign directory (manifest + shards)")
@@ -245,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="full paper-scale 4x4x4 campaign")
     campaign_parser.add_argument("--no-resume", action="store_true",
                                  help="re-run every cell even when its shard exists")
+    campaign_parser.add_argument("--follow", action="store_true",
+                                 help="submit without blocking and stream the durable "
+                                 "event log live (per-iteration events from pool "
+                                 "workers included; see docs/cli.md)")
     campaign_parser.add_argument("--tables", action="store_true",
                                  help="render Table I/II from the finished shards afterwards")
     campaign_parser.add_argument("--measure", default="evaluations",
@@ -252,19 +325,34 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_parser.set_defaults(handler=_cmd_campaign)
 
     tables_parser = subparsers.add_parser(
-        "tables", help="fold a campaign directory's shards into Table I/II (no re-runs)"
+        "tables",
+        help="fold a campaign directory's shards into Table I/II (no re-runs)",
+        epilog=DOCS_EPILOG,
     )
     tables_parser.add_argument("--output-dir", required=True,
-                               help="campaign directory written by `repro campaign`")
+                               help="campaign directory written by `repro campaign` "
+                               "(loose shards or a compacted rollup)")
     tables_parser.add_argument("--measure", default="evaluations",
                                choices=("evaluations", "seconds", "iterations"))
     tables_parser.set_defaults(handler=_cmd_tables)
 
+    compact_parser = subparsers.add_parser(
+        "compact",
+        help="roll a campaign's finished shards into one indexed rollup file",
+        epilog=DOCS_EPILOG,
+    )
+    compact_parser.add_argument("--output-dir", required=True,
+                                help="campaign directory written by `repro campaign`")
+    compact_parser.set_defaults(handler=_cmd_compact)
+
     list_parser = subparsers.add_parser(
-        "list", help="list the registered optimizers and their hyperparameters"
+        "list",
+        help="list the registered optimizers and their hyperparameters",
+        epilog=DOCS_EPILOG,
     )
     list_parser.add_argument("--verbose", "-v", action="store_true",
-                             help="also print every declared hyperparameter")
+                             help="also print every optimizer's aliases and full "
+                             "declared hyperparameter schema")
     list_parser.set_defaults(handler=_cmd_list)
 
     return parser

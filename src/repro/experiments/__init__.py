@@ -1,5 +1,6 @@
 """Experiment harness reproducing the paper's evaluation (Tables I-II, Fig. 3)."""
 
+from repro.experiments.compaction import CompactionSummary, compact_campaign
 from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.experiments.metrics import (
     common_reference_point,
@@ -10,6 +11,7 @@ from repro.experiments.metrics import (
 )
 from repro.experiments.runner import (
     CampaignCell,
+    CampaignExecution,
     CampaignSummary,
     campaign_cells,
     campaign_status,
@@ -19,6 +21,7 @@ from repro.experiments.runner import (
     make_problem,
     run_algorithm,
     run_campaign,
+    submit_campaign,
 )
 from repro.experiments.tables import (
     build_figure3,
@@ -31,8 +34,12 @@ from repro.experiments.tables import (
 __all__ = [
     "CampaignCell",
     "CampaignConfig",
+    "CampaignExecution",
     "CampaignSummary",
+    "CompactionSummary",
     "ExperimentConfig",
+    "compact_campaign",
+    "submit_campaign",
     "build_figure3",
     "campaign_cells",
     "campaign_status",

@@ -1,0 +1,160 @@
+"""Shard compaction: bound a campaign directory for million-design campaigns.
+
+A finished paper-scale campaign leaves one JSON shard per grid cell; at
+million-design scale that is thousands of multi-megabyte files and a
+directory listing that dominates every resume scan.  :func:`compact_campaign`
+rolls the completed shards into a single ``rollup.jsonl`` — one compact JSON
+line per cell — and records a byte-range index in the manifest's ``rollup``
+record, so any single cell is still read with one ``seek`` + one parse, never
+a full load of the rollup.  Every reader in
+:mod:`repro.experiments.runner` (:func:`~repro.experiments.runner.load_campaign_results`,
+:func:`~repro.experiments.runner.campaign_status`, the resume scan) and the
+table aggregation in :mod:`repro.experiments.tables` consult the rollup
+transparently, so ``aggregate_campaign`` / ``repro tables`` produce output
+identical to loose shards and a resumed campaign skips compacted cells
+exactly as it skips loose ones.
+
+Crash ordering: each compaction writes a *new generation* of the rollup
+(``rollup.jsonl``, then ``rollup.2.jsonl``, ``rollup.3.jsonl``, ...) — never
+renaming over the file the current manifest indexes — then atomically
+rewrites the manifest to point at the new generation, and only then deletes
+the loose shards and the previous generation's file.  A crash between any
+two steps leaves a readable directory: at worst an orphaned, unreferenced
+rollup file or already-indexed loose shards, both harmless and cleaned up by
+later compactions.  Re-running compaction is incremental: cells already in
+the rollup are carried over (one cell in memory at a time), newly finished
+loose shards are folded in, and a fresh loose shard for a previously
+compacted cell (a re-run) supersedes its stale rollup copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.runner import (
+    MANIFEST_NAME,
+    ROLLUP_FORMAT,
+    ROLLUP_NAME,
+    CampaignCell,
+    cell_payload,
+    load_manifest,
+)
+from repro.utils.serialization import json_line, write_json_atomic
+
+
+@dataclass
+class CompactionSummary:
+    """Outcome of one :func:`compact_campaign` invocation."""
+
+    output_dir: Path
+    rollup_path: Path
+    compacted: list[str]  # cell keys newly folded in from loose shards
+    carried_over: list[str]  # cell keys already in the previous rollup
+    pending: list[str]  # incomplete cells (no shard anywhere yet)
+    removed_shards: list[str]  # loose shard file names deleted after indexing
+
+    @property
+    def total(self) -> int:
+        """Number of cells in the rollup after compaction."""
+        return len(self.compacted) + len(self.carried_over)
+
+
+def compact_campaign(output_dir: "str | Path") -> CompactionSummary:
+    """Roll every completed shard of a campaign into the indexed rollup file.
+
+    Reads the manifest's cell grid, streams each completed cell's payload —
+    fresh loose shard first, previous rollup entry otherwise — into a new
+    ``rollup.jsonl`` (one cell in memory at a time), atomically replaces the
+    rollup, rewrites the manifest with the new byte-range index, and then
+    deletes the loose shards that are now indexed.  Incomplete cells are left
+    for a later resume + compaction round.  Safe to re-run at any time,
+    including on an already-compacted or still-running directory.
+    """
+    output_dir = Path(output_dir)
+    manifest = load_manifest(output_dir)
+    cells = [CampaignCell.from_dict(entry) for entry in manifest["cells"]]
+    previous = manifest.get("rollup")
+
+    # Each compaction writes a fresh generation; the file the current
+    # manifest indexes is never overwritten, so a crash before the manifest
+    # rewrite cannot corrupt the live index.
+    generation = int(previous.get("generation", 1)) + 1 if previous else 1
+    rollup_path = output_dir / (
+        ROLLUP_NAME if generation == 1 else f"rollup.{generation}.jsonl"
+    )
+    previous_path = output_dir / previous["file"] if previous else None
+    tmp_path = rollup_path.with_name(rollup_path.name + ".tmp")
+    index: dict[str, list[int]] = {}
+    compacted: list[str] = []
+    carried_over: list[str] = []
+    pending: list[str] = []
+    removable: list[Path] = []
+
+    with open(tmp_path, "wb") as rollup:
+        offset = 0
+        for cell in cells:
+            # cell_payload prefers the loose shard, so a re-run cell's fresh
+            # result replaces its stale rollup copy here.
+            payload = cell_payload(output_dir, cell, previous)
+            if payload is None:
+                pending.append(cell.key)
+                continue
+            line = json_line(payload)
+            rollup.write(line)
+            # Index the payload bytes only (sans newline): readers seek and
+            # parse exactly that range.
+            index[cell.key] = [offset, len(line) - 1]
+            offset += len(line)
+            shard = output_dir / cell.shard_name
+            if shard.exists():
+                compacted.append(cell.key)
+                removable.append(shard)
+            else:
+                carried_over.append(cell.key)
+
+    if not index:
+        # Nothing completed yet: leave the directory untouched.
+        tmp_path.unlink()
+        return CompactionSummary(
+            output_dir=output_dir,
+            rollup_path=rollup_path,
+            compacted=[],
+            carried_over=[],
+            pending=pending,
+            removed_shards=[],
+        )
+
+    tmp_path.replace(rollup_path)
+    manifest["rollup"] = {
+        "format": ROLLUP_FORMAT,
+        "file": rollup_path.name,
+        "generation": generation,
+        "cells": index,
+    }
+    write_json_atomic(manifest, output_dir / MANIFEST_NAME)
+
+    removed: list[str] = []
+    for shard in removable:
+        try:
+            shard.unlink()
+            removed.append(shard.name)
+        except OSError:
+            # A shard that refuses to die is harmless: the rollup is already
+            # indexed and loose-shard-wins semantics keep reads consistent.
+            continue
+    if previous_path is not None and previous_path != rollup_path:
+        try:
+            previous_path.unlink()
+        except OSError:
+            pass  # the superseded generation is unreferenced, hence harmless
+
+    return CompactionSummary(
+        output_dir=output_dir,
+        rollup_path=rollup_path,
+        compacted=compacted,
+        carried_over=carried_over,
+        pending=pending,
+        removed_shards=removed,
+    )

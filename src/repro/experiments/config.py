@@ -103,10 +103,18 @@ class ExperimentConfig:
 
 
 #: Platform size (in tiles) from which campaign cells switch the objective
-#: evaluator's batch path to process-pool workers.  The paper's 4x4x4 platform
-#: (64 tiles) is the motivating case: per-design routing is expensive enough
-#: there that parallel cache-miss evaluation pays for the pool overhead.
-PARALLEL_EVALUATION_MIN_TILES: int = 48
+#: evaluator's batch path to process-pool workers.  The threshold tracks the
+#: *measured* break-even, not intuition: since the batch-evaluation engine was
+#: vectorized, a 32-design 5-objective miss batch evaluates in ~20 ms serially
+#: on the paper's 64-tile ``paper_4x4x4`` platform and the pool path is
+#: *slower* there (~0.4x at 1 worker, ~0.1x at 2-4 — per-task design pickling
+#: dominates; see ``bench_components.run_parallel_worker_sweep`` /
+#: ``BENCH_routing.json`` and ``docs/performance.md``).  The old threshold of
+#: 48 tiles predated vectorization and auto-enabled the pool exactly where it
+#: hurt.  256 tiles (an 8x8x4 grid) is where per-design routing is projected
+#: ~50x costlier and the pool is expected to pay for itself; re-measure there
+#: before lowering this.
+PARALLEL_EVALUATION_MIN_TILES: int = 256
 
 
 @dataclass(frozen=True)
@@ -145,6 +153,16 @@ class CampaignConfig:
         default); ``False`` is the escape hatch selecting the historical
         fresh-build-per-design path.  Each cell's hit/miss/repair counters are
         recorded in its shard and summarised in the campaign manifest.
+    event_log:
+        Appends every campaign event (shard starts/completions and, from
+        every cell — pooled or inline — the per-iteration optimiser events)
+        to a durable ``events.jsonl`` next to the manifest, and replays it
+        into the caller's subscribers, so pooled campaigns stream the same
+        events inline ones do (callbacks cannot cross the process-pool
+        boundary; the log can).  Observation-only: seeded campaign results
+        are bit-identical with the log on or off.  ``False`` falls back to
+        direct in-process callbacks (pool workers then only report shard
+        completions).
     max_evaluations:
         Per-cell evaluation budget override; ``None`` uses the experiment's
         ``max_evaluations``.
@@ -156,6 +174,7 @@ class CampaignConfig:
     resume: bool = True
     parallel_evaluation: bool | None = None
     routing_cache: bool = True
+    event_log: bool = True
     max_evaluations: int | None = None
 
     def __post_init__(self) -> None:

@@ -6,6 +6,20 @@ Besides the single-run helpers (:func:`run_algorithm`,
 each cell streaming its result to one JSON shard next to a manifest so a
 killed campaign resumes by running only the missing cells
 (:func:`run_campaign`).
+
+Campaigns are asynchronous and observable across processes: every cell —
+pool worker or inline — appends its :class:`~repro.study.events.StudyEvent`\\ s
+to a durable ``events.jsonl`` next to the manifest
+(:mod:`repro.study.event_log`), a manifest-side tailer replays them into the
+caller's subscribers, and :func:`submit_campaign` returns a non-blocking
+:class:`CampaignExecution` handle (``.events()`` / ``.progress()`` /
+``.wait()``).  :func:`run_campaign` is simply ``submit + wait``.
+
+Finished shard directories can be bounded with
+:func:`repro.experiments.compaction.compact_campaign`: completed shards roll
+into a single indexed ``rollup.jsonl`` recorded in the manifest, and every
+reader here (:func:`load_campaign_results`, :func:`campaign_status`, resume)
+reads rollup-or-shards transparently.
 """
 
 from __future__ import annotations
@@ -13,6 +27,8 @@ from __future__ import annotations
 import hashlib
 import json
 import re
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
@@ -22,10 +38,11 @@ from repro.core.problem import NocDesignProblem
 from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.moo.result import OptimizationResult
 from repro.moo.termination import Budget
+from repro.study.event_log import EVENT_LOG_NAME, EventLogReader, EventLogWriter
 from repro.study.events import EventCallback, StudyEvent
 from repro.study.optimizers import BUILTIN_ALGORITHMS
 from repro.study.registry import default_registry
-from repro.utils.serialization import load_result, result_to_dict, write_json_atomic
+from repro.utils.serialization import result_from_dict, result_to_dict, write_json_atomic
 from repro.workloads.registry import get_workload
 
 #: Canonical names of the built-in algorithms.  :func:`run_algorithm` accepts
@@ -38,6 +55,15 @@ MANIFEST_NAME = "manifest.json"
 
 #: Format tag written into every manifest (bump on incompatible changes).
 MANIFEST_FORMAT = "repro-campaign/1"
+
+#: File name of the shard rollup written by ``compact_campaign`` (one compact
+#: JSON line per compacted cell; the byte-range index lives in the manifest's
+#: ``rollup`` record so single cells are read with one seek, never a full
+#: parse of the rollup).
+ROLLUP_NAME = "rollup.jsonl"
+
+#: Format tag of the manifest's ``rollup`` record.
+ROLLUP_FORMAT = "repro-campaign-rollup/1"
 
 
 def make_problem(
@@ -237,24 +263,53 @@ def load_manifest(output_dir: "str | Path") -> dict[str, Any]:
     return payload
 
 
-def _shard_complete(output_dir: Path, cell: CampaignCell) -> bool:
-    """True when the cell's shard exists, parses, and matches the cell's identity.
+def cell_payload(
+    output_dir: "str | Path", cell: CampaignCell, rollup: "Mapping[str, Any] | None" = None
+) -> "dict[str, Any] | None":
+    """The cell's completed result payload, from its loose shard or the rollup.
 
-    Shards are written atomically, so any existing file is a finished cell —
-    the parse and identity checks additionally guard against foreign files and
-    stale shards from a differently-seeded campaign in the same directory.
+    A loose shard wins over a rollup entry (a re-run cell writes a fresh
+    shard that must supersede its compacted copy); the rollup — the
+    manifest's ``rollup`` record, whose byte-range index lets one cell be
+    read with a single seek — answers for every compacted cell.  Either
+    source must parse *and* match the cell's identity, guarding against
+    foreign files and stale entries from a differently-seeded campaign.
+    Returns ``None`` for an incomplete cell.
     """
-    path = output_dir / cell.shard_name
-    if not path.exists():
-        return False
+    output_dir = Path(output_dir)
     try:
-        payload = json.loads(path.read_text())
+        payload = json.loads((output_dir / cell.shard_name).read_text())
+        if isinstance(payload, dict) and payload.get("cell") == cell.to_dict():
+            return payload
     except (OSError, json.JSONDecodeError):
-        return False
-    return isinstance(payload, dict) and payload.get("cell") == cell.to_dict()
+        pass
+    if rollup:
+        entry = rollup.get("cells", {}).get(cell.key)
+        if entry is not None:
+            try:
+                offset, length = int(entry[0]), int(entry[1])
+                with open(output_dir / rollup.get("file", ROLLUP_NAME), "rb") as handle:
+                    handle.seek(offset)
+                    payload = json.loads(handle.read(length))
+                if isinstance(payload, dict) and payload.get("cell") == cell.to_dict():
+                    return payload
+            except (OSError, ValueError, TypeError):
+                return None
+    return None
 
 
-def aggregate_routing_cache_stats(output_dir: "str | Path", cells: list[CampaignCell]) -> dict[str, Any]:
+def _shard_complete(
+    output_dir: Path, cell: CampaignCell, rollup: "Mapping[str, Any] | None" = None
+) -> bool:
+    """True when the cell has a completed result (loose shard or rollup entry)."""
+    return cell_payload(output_dir, cell, rollup) is not None
+
+
+def aggregate_routing_cache_stats(
+    output_dir: "str | Path",
+    cells: list[CampaignCell],
+    rollup: "Mapping[str, Any] | None" = None,
+) -> dict[str, Any]:
     """Fold the per-shard routing-cache counters into one campaign summary.
 
     Cells whose shard predates the routing-cache format (or is missing) are
@@ -268,12 +323,8 @@ def aggregate_routing_cache_stats(output_dir: "str | Path", cells: list[Campaign
         # One parse per shard: completion check (shard parses and matches the
         # cell identity) and counter extraction share the same payload —
         # paper-scale shards are multi-MB, so re-parsing per question adds up.
-        path = output_dir / cell.shard_name
-        try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
-            continue
-        if not isinstance(payload, dict) or payload.get("cell") != cell.to_dict():
+        payload = cell_payload(output_dir, cell, rollup)
+        if payload is None:
             continue
         stats = payload.get("routing_cache")
         if not isinstance(stats, dict):
@@ -296,22 +347,26 @@ def campaign_status(output_dir: "str | Path") -> dict[str, bool]:
     """Completion state of every cell recorded in a campaign manifest."""
     output_dir = Path(output_dir)
     manifest = load_manifest(output_dir)
+    rollup = manifest.get("rollup")
     cells = [CampaignCell.from_dict(entry) for entry in manifest["cells"]]
-    return {cell.key: _shard_complete(output_dir, cell) for cell in cells}
+    return {cell.key: _shard_complete(output_dir, cell, rollup) for cell in cells}
 
 
 def load_campaign_results(output_dir: "str | Path") -> Iterator[tuple[CampaignCell, OptimizationResult]]:
-    """Yield ``(cell, result)`` for every completed shard of a campaign.
+    """Yield ``(cell, result)`` for every completed cell of a campaign.
 
-    Results are loaded lazily, one shard at a time, so summarising a large
-    campaign never holds more than one cell's result in memory.
+    Results are loaded lazily, one cell at a time — from loose shards or the
+    compacted rollup, transparently — so summarising a large campaign never
+    holds more than one cell's result in memory.
     """
     output_dir = Path(output_dir)
     manifest = load_manifest(output_dir)
+    rollup = manifest.get("rollup")
     for entry in manifest["cells"]:
         cell = CampaignCell.from_dict(entry)
-        if _shard_complete(output_dir, cell):
-            yield cell, load_result(output_dir / cell.shard_name)
+        payload = cell_payload(output_dir, cell, rollup)
+        if payload is not None:
+            yield cell, result_from_dict(payload)
 
 
 def _run_campaign_cell(
@@ -319,44 +374,81 @@ def _run_campaign_cell(
     cell: CampaignCell,
     output_dir: str,
     on_event: EventCallback | None = None,
+    event_log: "str | None" = None,
 ) -> dict[str, Any]:
     """Run one grid cell and stream its result to the cell's shard.
 
     Executed inside pool workers, so it takes only picklable arguments and
     writes the (potentially large) result to disk in the worker instead of
-    shipping it back to the parent.  ``on_event`` (inline execution only —
-    callbacks do not cross the process boundary) additionally streams the
-    cell's per-iteration optimiser events.
+    shipping it back to the parent.  The cell's events — ``shard_started``,
+    the optimiser's ``run_started``/``iteration``/``run_finished`` stream and
+    ``shard_finished`` with the routing-cache counters — go to ``on_event``
+    (inline execution only; callbacks do not cross the process boundary)
+    and/or the durable event log named by ``event_log`` (a file name relative
+    to ``output_dir``, appended atomically — this is how pooled cells reach
+    the caller's subscribers).  ``shard_finished`` is appended *after* the
+    shard's atomic write, so a logged completion always refers to a readable
+    shard, however the campaign dies afterwards.
     """
+    callbacks: list[EventCallback] = []
+    writer: EventLogWriter | None = None
+    if on_event is not None:
+        callbacks.append(on_event)
+    if event_log is not None:
+        writer = EventLogWriter(Path(output_dir) / event_log, origin=f"cell-{cell.key}")
+        callbacks.append(writer.append)
+    if not callbacks:
+        emit = None
+    elif len(callbacks) == 1:
+        emit = callbacks[0]
+    else:
+        def emit(event: StudyEvent, _callbacks=tuple(callbacks)) -> None:
+            for callback in _callbacks:
+                callback(event)
     experiment = campaign.experiment
     problem = make_problem(
         experiment, cell.application, cell.num_objectives, routing_cache=campaign.routing_cache
     )
     problem.parallel_evaluation = campaign.resolve_parallel_evaluation()
     try:
+        if emit is not None:
+            emit(_cell_event("shard_started", cell))
         result = run_algorithm(
             cell.algorithm,
             problem,
             experiment,
             budget=Budget.evaluations(campaign.cell_budget),
             seed=cell.seed,
-            on_event=on_event,
+            on_event=emit,
         )
         routing_stats = problem.routing_cache_stats()
         payload = result_to_dict(result)
         payload["cell"] = cell.to_dict()
         payload["routing_cache"] = routing_stats
         write_json_atomic(payload, Path(output_dir) / cell.shard_name)
+        outcome = {
+            "key": cell.key,
+            "evaluations": int(result.evaluations),
+            "elapsed_seconds": float(result.elapsed_seconds),
+            "routing_cache": routing_stats,
+        }
+        if emit is not None:
+            emit(
+                _cell_event(
+                    "shard_finished",
+                    cell,
+                    evaluations=outcome["evaluations"],
+                    elapsed_seconds=outcome["elapsed_seconds"],
+                    routing_cache=routing_stats,
+                )
+            )
     finally:
+        if writer is not None:
+            writer.close()
         evaluator = getattr(problem, "evaluator", None)
         if evaluator is not None:
             evaluator.shutdown()
-    return {
-        "key": cell.key,
-        "evaluations": int(result.evaluations),
-        "elapsed_seconds": float(result.elapsed_seconds),
-        "routing_cache": routing_stats,
-    }
+    return outcome
 
 
 def _cell_event(kind: str, cell: CampaignCell, **payload: Any) -> StudyEvent:
@@ -374,36 +466,29 @@ def _cell_event(kind: str, cell: CampaignCell, **payload: Any) -> StudyEvent:
     )
 
 
-def run_campaign(
+def _execute_campaign(
     campaign: CampaignConfig,
-    output_dir: "str | Path",
-    on_event: EventCallback | None = None,
+    output_dir: Path,
+    emit: EventCallback | None,
+    event_log: "str | None",
 ) -> CampaignSummary:
-    """Run (or resume) a sharded campaign over the full algorithm/problem grid.
+    """Blocking campaign body shared by the sync and async front doors.
 
-    The manifest covering the *entire* grid is written first, then every cell
-    without a completed shard is executed — inline when ``max_workers == 1``,
-    otherwise fanned out over a process pool.  Each cell writes its own shard
-    atomically on completion, so killing the campaign at any point loses at
-    most the in-flight cells; re-running with ``resume=True`` (the default)
-    skips every completed cell.
-
-    ``on_event`` streams structured progress instead of silence:
-    ``campaign_started``, one ``shard_skipped``/``shard_started`` per cell,
-    ``shard_finished`` with the cell's evaluation count and routing-cache
-    counters (in completion order under a process pool), and
-    ``campaign_finished`` with the folded cache summary.  Inline campaigns
-    (``max_workers == 1``) additionally forward every cell's per-iteration
-    optimiser events; pool workers only report shard completions, because
-    callbacks do not cross the process boundary — there, ``shard_started``
-    marks *submission* to the pool (``payload["queued"] = True``), not the
-    worker-side start.
+    ``emit`` receives the campaign-level events (``campaign_started``,
+    ``shard_skipped``, ``campaign_finished``) — in event-log mode it is the
+    parent's log writer, otherwise the caller's direct callback.  Cell-level
+    events come from :func:`_run_campaign_cell`: through the log when
+    ``event_log`` names one (pooled and inline cells alike, so both modes
+    produce the identical stream), or through ``emit`` directly in the legacy
+    no-log inline path.  In the no-log *pool* path workers stay silent, so
+    the parent emits submission-time ``shard_started`` events
+    (``payload["queued"] = True``) and completion-time ``shard_finished``.
     """
-    output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     cells = campaign_cells(campaign)
 
     manifest_path = output_dir / MANIFEST_NAME
+    rollup: "dict[str, Any] | None" = None
     if manifest_path.exists():
         existing = load_manifest(output_dir)
         if existing["cells"] != [cell.to_dict() for cell in cells]:
@@ -418,16 +503,22 @@ def run_campaign(
                 "resuming would mix budgets across cells — use a fresh output "
                 "directory or the original budget"
             )
-    write_json_atomic(_manifest_payload(campaign, cells), manifest_path)
+        # A compacted directory's rollup record must survive the manifest
+        # rewrite, or resume would forget every compacted cell.
+        rollup = existing.get("rollup")
+    manifest_payload = _manifest_payload(campaign, cells)
+    if rollup is not None:
+        manifest_payload["rollup"] = rollup
+    write_json_atomic(manifest_payload, manifest_path)
 
     if campaign.resume:
-        done = {cell.key for cell in cells if _shard_complete(output_dir, cell)}
+        done = {cell.key for cell in cells if _shard_complete(output_dir, cell, rollup)}
     else:
         done = set()
     pending = [cell for cell in cells if cell.key not in done]
 
-    if on_event is not None:
-        on_event(
+    if emit is not None:
+        emit(
             StudyEvent(
                 kind="campaign_started",
                 payload={
@@ -440,23 +531,25 @@ def run_campaign(
         )
         for cell in cells:
             if cell.key in done:
-                on_event(_cell_event("shard_skipped", cell))
+                emit(_cell_event("shard_skipped", cell))
 
     if campaign.max_workers > 1 and len(pending) > 1:
         workers = min(campaign.max_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
             for cell in pending:
-                if on_event is not None:
-                    # Pool mode cannot observe the worker-side start, so
-                    # shard_started marks *submission*; payload["queued"]
-                    # distinguishes it from an inline start.
-                    on_event(_cell_event("shard_started", cell, queued=True))
-                futures[pool.submit(_run_campaign_cell, campaign, cell, str(output_dir))] = cell
+                if emit is not None and event_log is None:
+                    # Without the log the worker-side start is unobservable,
+                    # so shard_started marks *submission*; payload["queued"]
+                    # distinguishes it from a worker-side start.
+                    emit(_cell_event("shard_started", cell, queued=True))
+                futures[
+                    pool.submit(_run_campaign_cell, campaign, cell, str(output_dir), None, event_log)
+                ] = cell
             for future in as_completed(futures):
                 outcome = future.result()
-                if on_event is not None:
-                    on_event(
+                if emit is not None and event_log is None:
+                    emit(
                         _cell_event(
                             "shard_finished",
                             futures[future],
@@ -467,30 +560,33 @@ def run_campaign(
                     )
     else:
         for cell in pending:
-            if on_event is not None:
-                on_event(_cell_event("shard_started", cell))
-            outcome = _run_campaign_cell(campaign, cell, str(output_dir), on_event=on_event)
-            if on_event is not None:
-                on_event(
-                    _cell_event(
-                        "shard_finished",
-                        cell,
-                        evaluations=outcome["evaluations"],
-                        elapsed_seconds=outcome["elapsed_seconds"],
-                        routing_cache=outcome["routing_cache"],
-                    )
-                )
+            _run_campaign_cell(
+                campaign,
+                cell,
+                str(output_dir),
+                on_event=emit if event_log is None else None,
+                event_log=event_log,
+            )
 
     # Fold every completed shard's routing-engine counters into the manifest
     # so a finished campaign reports its cache effectiveness without anyone
-    # re-reading the shards.
-    routing_stats = aggregate_routing_cache_stats(output_dir, cells)
+    # re-reading the shards.  The rollup record is re-read rather than taken
+    # from the start-of-run snapshot: compact_campaign may have run against
+    # this directory while the cells executed, and carrying a stale (or
+    # absent) record forward would orphan the cells it compacted.
+    try:
+        rollup = load_manifest(output_dir).get("rollup")
+    except (OSError, ValueError):
+        pass  # keep the snapshot if the manifest is momentarily unreadable
+    routing_stats = aggregate_routing_cache_stats(output_dir, cells, rollup)
     manifest_payload = _manifest_payload(campaign, cells)
+    if rollup is not None:
+        manifest_payload["rollup"] = rollup
     manifest_payload["routing_cache"] = routing_stats
     write_json_atomic(manifest_payload, manifest_path)
 
-    if on_event is not None:
-        on_event(
+    if emit is not None:
+        emit(
             StudyEvent(
                 kind="campaign_finished",
                 payload={
@@ -511,3 +607,234 @@ def run_campaign(
         parallel_evaluation=campaign.resolve_parallel_evaluation(),
         routing_cache=routing_stats,
     )
+
+
+class CampaignExecution:
+    """Non-blocking handle over a running campaign (see :func:`submit_campaign`).
+
+    The campaign body runs on a background thread; this handle is the
+    caller's side of the event stream.  With the event log enabled (the
+    default) every event — campaign brackets from the parent, shard and
+    iteration events from the cells, pooled or inline — round-trips through
+    the durable ``events.jsonl`` and is replayed here by a manifest-side
+    tailer; with ``event_log=False`` the in-process callbacks feed an
+    in-memory buffer instead.  Either way, the subscriber passed to
+    :func:`submit_campaign` is invoked on the thread that consumes the
+    handle (:meth:`wait`, :meth:`events` or :meth:`poll`), never
+    concurrently with it.
+
+    The handle is a single-consumer object: drive it with *one* of
+    :meth:`events` (live iteration), :meth:`wait` (block to completion,
+    pumping subscribers), or repeated :meth:`poll`/:meth:`progress` calls —
+    all three share one pump, so e.g. calling :meth:`progress` from inside an
+    :meth:`events` loop would drain events the iterator then never yields
+    (read the counters off the yielded events instead).
+
+    Asynchrony changes failure semantics versus the old inline
+    ``run_campaign``: the campaign body is not torn down by its observers.
+    A subscriber exception (or a :meth:`wait` timeout) propagates to the
+    *consumer* while the cells keep executing in the background; the handle
+    stays valid, so call :meth:`wait` again to resume pumping and join.  Do
+    not start a second campaign in the same output directory while a handle
+    is unfinished.
+    """
+
+    def __init__(
+        self,
+        campaign: CampaignConfig,
+        output_dir: "str | Path",
+        on_event: EventCallback | None = None,
+    ):
+        self.campaign = campaign
+        self.output_dir = Path(output_dir)
+        self._on_event = on_event
+        self._summary: CampaignSummary | None = None
+        self._error: BaseException | None = None
+        self._finished = threading.Event()
+        self._lock = threading.Lock()
+        self._buffer: list[StudyEvent] = []
+        self._reader: EventLogReader | None = None
+        self._writer: EventLogWriter | None = None
+        self._counts = {"total": len(campaign_cells(campaign)), "started": 0,
+                        "finished": 0, "skipped": 0, "evaluations": 0}
+        if campaign.event_log:
+            self.output_dir.mkdir(parents=True, exist_ok=True)
+            log_path = self.output_dir / EVENT_LOG_NAME
+            # Tail from the current end: a resumed campaign appends to the
+            # previous run's durable log, and subscribers must only see this
+            # invocation's events.
+            self._reader = EventLogReader(log_path, start_at_end=True)
+            self._writer = EventLogWriter(log_path, origin="campaign")
+        self._thread = threading.Thread(
+            target=self._execute, name="repro-campaign", daemon=True
+        )
+
+    # ------------------------------------------------------------------ #
+    # Background execution
+    # ------------------------------------------------------------------ #
+    def _start(self) -> "CampaignExecution":
+        self._thread.start()
+        return self
+
+    def _execute(self) -> None:
+        emit: EventCallback = self._writer.append if self._writer is not None else self._enqueue
+        try:
+            self._summary = _execute_campaign(
+                self.campaign,
+                self.output_dir,
+                emit,
+                EVENT_LOG_NAME if self._writer is not None else None,
+            )
+        except BaseException as error:  # re-raised by wait()
+            self._error = error
+        finally:
+            if self._writer is not None:
+                self._writer.close()
+            self._finished.set()
+
+    def _enqueue(self, event: StudyEvent) -> None:
+        with self._lock:
+            self._buffer.append(event)
+
+    # ------------------------------------------------------------------ #
+    # Caller-side consumption
+    # ------------------------------------------------------------------ #
+    def poll(self) -> list[StudyEvent]:
+        """Drain and return the events that arrived since the last poll.
+
+        Also dispatches each one to the subscriber and updates
+        :meth:`progress` counters — this is the single pump every other
+        consumption method goes through.
+        """
+        if self._reader is not None:
+            events = [record.event for record in self._reader.poll()]
+        else:
+            with self._lock:
+                events, self._buffer = self._buffer, []
+        for event in events:
+            self._track(event)
+            if self._on_event is not None:
+                self._on_event(event)
+        return events
+
+    def _track(self, event: StudyEvent) -> None:
+        # Queued submissions (the no-log pool path, where worker-side starts
+        # are unobservable) count as started too: "running" then means
+        # "submitted and not yet finished", the closest observable truth.
+        if event.kind == "shard_started":
+            self._counts["started"] += 1
+        elif event.kind == "shard_finished":
+            self._counts["finished"] += 1
+            self._counts["evaluations"] += int(event.evaluations or 0)
+        elif event.kind == "shard_skipped":
+            self._counts["skipped"] += 1
+
+    def done(self) -> bool:
+        """True once the campaign body has finished (or failed)."""
+        return self._finished.is_set()
+
+    def progress(self) -> dict[str, Any]:
+        """Snapshot of the campaign's progress, from the pumped event stream."""
+        self.poll()
+        counts = dict(self._counts)
+        return {
+            "cells": counts["total"],
+            "done": counts["finished"] + counts["skipped"],
+            "executed": counts["finished"],
+            "skipped": counts["skipped"],
+            "running": max(0, counts["started"] - counts["finished"]),
+            "evaluations": counts["evaluations"],
+            "finished": self.done(),
+        }
+
+    def events(self, poll_interval: float = 0.05) -> Iterator[StudyEvent]:
+        """Yield events live until the campaign completes (then drain).
+
+        The iterator ends when the campaign body has finished *and* the
+        stream is drained; call :meth:`wait` afterwards for the summary (it
+        returns immediately and re-raises any campaign failure).
+        """
+        while not self._finished.is_set():
+            events = self.poll()
+            if events:
+                yield from events
+            else:
+                time.sleep(poll_interval)
+        yield from self.poll()
+
+    def wait(self, timeout: "float | None" = None, poll_interval: float = 0.05) -> CampaignSummary:
+        """Block (pumping events to the subscriber) until the campaign ends.
+
+        Raises ``TimeoutError`` when ``timeout`` seconds pass first, and
+        re-raises whatever the campaign body raised (grid-mismatch
+        ``ValueError``, a worker crash, ...) once it has finished.  A timeout
+        or a subscriber exception does **not** stop the campaign — the cells
+        keep running in the background and this method can be called again
+        on the same handle to resume pumping and join.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self._finished.wait(timeout=poll_interval):
+            self.poll()
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"campaign in {self.output_dir} still running after {timeout:.1f}s"
+                )
+        self._thread.join()
+        self.poll()
+        if self._error is not None:
+            raise self._error
+        assert self._summary is not None
+        return self._summary
+
+
+def submit_campaign(
+    campaign: CampaignConfig,
+    output_dir: "str | Path",
+    on_event: EventCallback | None = None,
+) -> CampaignExecution:
+    """Start a campaign without blocking and return its execution handle.
+
+    The grid runs on a background thread (cells still fan out over the
+    process pool when ``max_workers > 1``); the returned
+    :class:`CampaignExecution` exposes the live event stream
+    (:meth:`~CampaignExecution.events`), progress polling
+    (:meth:`~CampaignExecution.progress`) and the blocking join
+    (:meth:`~CampaignExecution.wait`).  ``on_event`` subscribes exactly like
+    :func:`run_campaign`'s — it is invoked from whichever thread consumes
+    the handle.
+    """
+    return CampaignExecution(campaign, output_dir, on_event=on_event)._start()
+
+
+def run_campaign(
+    campaign: CampaignConfig,
+    output_dir: "str | Path",
+    on_event: EventCallback | None = None,
+) -> CampaignSummary:
+    """Run (or resume) a sharded campaign over the full algorithm/problem grid.
+
+    The manifest covering the *entire* grid is written first, then every cell
+    without a completed shard (loose or compacted — see
+    :func:`repro.experiments.compaction.compact_campaign`) is executed —
+    inline when ``max_workers == 1``, otherwise fanned out over a process
+    pool.  Each cell writes its own shard atomically on completion, so
+    killing the campaign at any point loses at most the in-flight cells;
+    re-running with ``resume=True`` (the default) skips every completed cell.
+
+    ``on_event`` streams structured progress instead of silence:
+    ``campaign_started``, one ``shard_skipped``/``shard_started`` per cell,
+    per-iteration optimiser events from every cell, ``shard_finished`` with
+    the cell's evaluation count and routing-cache counters (in completion
+    order under a process pool), and ``campaign_finished`` with the folded
+    cache summary.  With the default ``campaign.event_log=True`` the stream
+    is identical for pooled and inline campaigns — workers append to the
+    durable ``events.jsonl`` next to the manifest and a tailer replays it
+    into ``on_event``.  With ``event_log=False`` events stay in-process:
+    inline campaigns still forward everything, but pool workers are silent
+    and the parent only reports submissions (``shard_started`` with
+    ``payload["queued"] = True``) and completions.
+
+    This is the blocking front door: ``submit_campaign(...).wait()``.  Use
+    :func:`submit_campaign` directly for the non-blocking handle.
+    """
+    return submit_campaign(campaign, output_dir, on_event=on_event).wait()

@@ -11,9 +11,12 @@ Campaign analytics
 :func:`aggregate_campaign` folds the finished shards of a sharded campaign
 (:func:`repro.experiments.runner.run_campaign`) into the same Table I/II
 builders *without re-running any cell*: shards are loaded lazily into the
-``RunMap`` layout the builders consume, the comparison target defaults to
-MOELA when present (first completed algorithm otherwise), and cells missing
-either side of a comparison are skipped instead of failing the whole table.
+``RunMap`` layout the builders consume — transparently from loose shard
+files or a compacted rollup
+(:func:`repro.experiments.compaction.compact_campaign`), with identical
+output either way — the comparison target defaults to MOELA when present
+(first completed algorithm otherwise), and cells missing either side of a
+comparison are skipped instead of failing the whole table.
 """
 
 from __future__ import annotations

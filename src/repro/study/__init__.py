@@ -6,6 +6,8 @@
 * :mod:`repro.study.optimizers` — the five baseline specs (self-registered).
 * :mod:`repro.study.events` — the :class:`StudyEvent` streaming-progress
   protocol emitted by optimisers, campaigns and studies.
+* :mod:`repro.study.event_log` — the durable JSONL event log that carries
+  those events across the campaign process-pool boundary (writer + tailer).
 * :mod:`repro.study.study` — the :class:`Study` façade (fluent or declarative
   TOML/JSON construction) and its unified :class:`StudyResult`.
 
@@ -20,7 +22,11 @@ from repro.study.events import EVENT_KINDS, EventCallback, StudyEvent
 
 __all__ = [
     "EVENT_KINDS",
+    "EVENT_LOG_NAME",
     "EventCallback",
+    "EventLogReader",
+    "EventLogWriter",
+    "EventRecord",
     "OptimizerRegistry",
     "OptimizerSpec",
     "Study",
@@ -28,10 +34,16 @@ __all__ = [
     "StudyResult",
     "canonical_key",
     "default_registry",
+    "read_event_log",
     "register_optimizer",
 ]
 
 _LAZY = {
+    "EVENT_LOG_NAME": ("repro.study.event_log", "EVENT_LOG_NAME"),
+    "EventLogReader": ("repro.study.event_log", "EventLogReader"),
+    "EventLogWriter": ("repro.study.event_log", "EventLogWriter"),
+    "EventRecord": ("repro.study.event_log", "EventRecord"),
+    "read_event_log": ("repro.study.event_log", "read_event_log"),
     "OptimizerRegistry": ("repro.study.registry", "OptimizerRegistry"),
     "OptimizerSpec": ("repro.study.registry", "OptimizerSpec"),
     "canonical_key": ("repro.study.registry", "canonical_key"),

@@ -1,0 +1,184 @@
+"""Durable JSONL event log: :class:`StudyEvent`\\ s across process boundaries.
+
+Callbacks cannot cross a process pool, so pooled campaigns used to be silent
+between shard completions.  This module fixes that with a plain append-only
+JSONL file next to the campaign manifest: every worker appends its events
+through an :class:`EventLogWriter` (one ``os.write`` per line onto an
+``O_APPEND`` descriptor — the POSIX guarantee campaign shards already rely on
+for atomicity), and the parent replays new lines into the caller's
+subscribers through an :class:`EventLogReader` tailer.  Inline and pooled
+campaigns therefore emit the identical event stream, and the log itself is a
+durable record: a killed campaign's events survive for post-mortems, and a
+resumed campaign appends to the same file.
+
+Line format (one JSON object per line, no pretty-printing)::
+
+    {"origin": "cell-MOELA_BFS_3obj", "seq": 12, "event": {"kind": "iteration", ...}}
+
+``origin`` identifies the writer (one per campaign cell, plus ``"campaign"``
+for the parent's bracket events) and ``seq`` is that writer's own monotonic
+counter, so a replayed log can be checked for consistency per origin even
+though writers interleave freely.  A ``seq`` of ``0`` marks a new writer
+*incarnation* under the same origin — a resumed campaign re-running a cell,
+or the parent bracketing another invocation — so the consistency invariant
+over a multi-invocation log is: every origin's sequence splits into
+incarnations at each ``0``, and each incarnation counts up by exactly one.
+
+Crash behaviour: a process killed mid-``write`` can leave at most one torn
+line.  A torn line at the *end* of the log is simply not yet consumed (the
+reader only parses newline-terminated lines); a torn line in the *middle*
+(the next writer appended after the torn bytes) fails JSON parsing and is
+skipped, counted in :attr:`EventLogReader.corrupt_lines` — replay never
+propagates garbage, it only loses the single event whose write was cut.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from repro.study.events import StudyEvent
+from repro.utils.serialization import json_line
+
+#: File name of the event log inside a campaign output directory.
+EVENT_LOG_NAME = "events.jsonl"
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """One parsed event-log line: the event plus its provenance."""
+
+    origin: str
+    seq: int
+    event: StudyEvent
+
+
+class EventLogWriter:
+    """Append-only event sink usable directly as an ``EventCallback``.
+
+    Each :meth:`append` serialises one event to a single JSON line and writes
+    it with one ``os.write`` call on an ``O_APPEND`` descriptor, so concurrent
+    writers (campaign pool workers) never interleave bytes within a line on a
+    local filesystem.  The descriptor is opened lazily on first append and
+    the writer is safe to construct in the parent and use after ``fork``/
+    ``spawn`` — workers construct their own instance from the path anyway.
+    """
+
+    def __init__(self, path: "str | Path", origin: "str | None" = None):
+        self.path = Path(path)
+        self.origin = origin if origin is not None else f"pid-{os.getpid()}"
+        self._seq = 0
+        self._fd: "int | None" = None
+
+    def append(self, event: StudyEvent) -> None:
+        """Durably append one event (one atomic single-``write`` line)."""
+        record = {"origin": self.origin, "seq": self._seq, "event": event.to_dict()}
+        if self._fd is None:
+            self._fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            if self._log_has_torn_tail():
+                # Self-heal after a kill: terminate the torn last line so this
+                # writer's records stay parseable (the torn line alone is
+                # skipped on replay, not merged with ours).
+                os.write(self._fd, b"\n")
+        os.write(self._fd, json_line(record))
+        self._seq += 1
+
+    def _log_has_torn_tail(self) -> bool:
+        """True when the log is non-empty and not newline-terminated."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
+    # Writers double as event callbacks: ``on_event=writer`` just works.
+    __call__ = append
+
+    def close(self) -> None:
+        """Close the underlying descriptor (appends after close reopen it)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "EventLogWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class EventLogReader:
+    """Incremental tailer over an event log.
+
+    Tracks a byte offset and, on every :meth:`poll`, parses the complete
+    (newline-terminated) lines appended since the previous poll.  A trailing
+    partial line — an append in flight, or the torn last write of a killed
+    process — stays unconsumed until its newline arrives; complete lines that
+    fail to parse are skipped and counted in :attr:`corrupt_lines`.
+
+    ``start_at_end=True`` begins tailing at the file's current end, so a
+    resumed campaign replays only its own events, not the previous run's —
+    replaying history is what ``start_at_end=False`` (the default) is for.
+    """
+
+    def __init__(self, path: "str | Path", start_at_end: bool = False):
+        self.path = Path(path)
+        self.corrupt_lines = 0
+        self._offset = 0
+        if start_at_end and self.path.exists():
+            self._offset = self.path.stat().st_size
+
+    @property
+    def offset(self) -> int:
+        """Byte offset of the next unread position in the log."""
+        return self._offset
+
+    def poll(self) -> list[EventRecord]:
+        """Parse and return every complete record appended since last poll."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except FileNotFoundError:
+            return []
+        if not data:
+            return []
+        # Only consume up to the last newline: a trailing partial line is an
+        # append still in flight (or a torn final write) and must be left for
+        # a later poll / never consumed.
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        complete, self._offset = data[: end + 1], self._offset + end + 1
+        records: list[EventRecord] = []
+        for line in complete.splitlines():
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+                record = EventRecord(
+                    origin=str(payload["origin"]),
+                    seq=int(payload["seq"]),
+                    event=StudyEvent.from_dict(payload["event"]),
+                )
+            except (ValueError, KeyError, TypeError):
+                self.corrupt_lines += 1
+                continue
+            records.append(record)
+        return records
+
+    def __iter__(self) -> Iterator[EventRecord]:
+        """One full pass over the currently unread portion of the log."""
+        return iter(self.poll())
+
+
+def read_event_log(path: "str | Path") -> list[EventRecord]:
+    """Replay a whole event log from the beginning (durability inspection)."""
+    return EventLogReader(path).poll()

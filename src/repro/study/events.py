@@ -74,6 +74,37 @@ class StudyEvent:
         if self.kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {self.kind!r}; known: {EVENT_KINDS}")
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable representation (the event-log line format).
+
+        ``None`` fields are omitted so log lines stay small; ``payload`` is
+        copied into a plain dict.  :meth:`from_dict` round-trips the result.
+        """
+        data: dict[str, Any] = {"kind": self.kind}
+        for name in ("algorithm", "application", "num_objectives", "iteration", "evaluations"):
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        if self.elapsed_seconds:
+            data["elapsed_seconds"] = self.elapsed_seconds
+        if self.payload:
+            data["payload"] = dict(self.payload)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudyEvent":
+        """Rebuild an event from :meth:`to_dict` output (raises on bad kinds)."""
+        return cls(
+            kind=str(data["kind"]),
+            algorithm=data.get("algorithm"),
+            application=data.get("application"),
+            num_objectives=data.get("num_objectives"),
+            iteration=data.get("iteration"),
+            evaluations=data.get("evaluations"),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            payload=dict(data.get("payload", {})),
+        )
+
     def describe(self) -> str:
         """One-line human-readable rendering (used by the CLI progress mode)."""
         scope = ""

@@ -36,10 +36,12 @@ from typing import Any, Iterator, Mapping
 
 from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.experiments.runner import (
+    CampaignExecution,
     CampaignSummary,
     make_problem,
     run_algorithm,
     run_campaign,
+    submit_campaign,
 )
 from repro.experiments.tables import (
     BASELINES,
@@ -95,6 +97,7 @@ _CAMPAIGN_KEYS: tuple[str, ...] = (
     "max_workers",
     "resume",
     "parallel_evaluation",
+    "event_log",
 )
 
 
@@ -261,13 +264,20 @@ class Study:
         max_workers: int = 1,
         resume: bool = True,
         parallel_evaluation: "bool | None" = None,
+        event_log: bool = True,
     ) -> "Study":
-        """Execute as a sharded, resumable campaign instead of inline runs."""
+        """Execute as a sharded, resumable campaign instead of inline runs.
+
+        ``event_log=True`` (the default) streams every cell's events —
+        pooled or inline — through the durable ``events.jsonl`` next to the
+        manifest; it is also what :meth:`submit`'s non-blocking handle tails.
+        """
         self._campaign = {
             "output_dir": str(output_dir),
             "max_workers": int(max_workers),
             "resume": bool(resume),
             "parallel_evaluation": parallel_evaluation,
+            "event_log": bool(event_log),
         }
         return self
 
@@ -332,6 +342,7 @@ class Study:
                 max_workers=int(campaign.get("max_workers", 1)),
                 resume=bool(campaign.get("resume", True)),
                 parallel_evaluation=campaign.get("parallel_evaluation"),
+                event_log=bool(campaign.get("event_log", True)),
             )
         return study
 
@@ -391,6 +402,8 @@ class Study:
                 del campaign["resume"]
             if campaign.get("max_workers") == 1:
                 del campaign["max_workers"]
+            if campaign.get("event_log") is True:
+                del campaign["event_log"]
             payload["campaign"] = campaign
         return payload
 
@@ -442,6 +455,7 @@ class Study:
             resume=self._campaign["resume"],
             parallel_evaluation=self._campaign["parallel_evaluation"],
             routing_cache=self._routing_cache,
+            event_log=self._campaign.get("event_log", True),
         )
 
     def _emit(self, kind: str, **payload: Any) -> None:
@@ -493,17 +507,35 @@ class Study:
         self._emit("study_finished", runs=sum(len(group) for group in runs.values()))
         return result
 
-    def _run_campaign(self) -> "StudyResult":
+    def submit(self) -> CampaignExecution:
+        """Start the study's campaign without blocking and return its handle.
+
+        Campaign-mode only (configure with :meth:`campaign` first).  The
+        returned :class:`~repro.experiments.runner.CampaignExecution` streams
+        live events (``.events()``), answers progress polls (``.progress()``)
+        and joins with ``.wait()``; pass the finished summary to
+        :meth:`collect` for the same :class:`StudyResult` a blocking
+        :meth:`run` would have produced.  The study's :meth:`on_event`
+        subscriber (if any) is invoked from whichever thread consumes the
+        handle.
+        """
         campaign = self.campaign_config()
         output_dir = Path(self._campaign["output_dir"])
-        summary = run_campaign(campaign, output_dir, on_event=self._on_event)
-        aggregate = aggregate_campaign(output_dir)
+        return submit_campaign(campaign, output_dir, on_event=self._on_event)
+
+    def collect(self, summary: CampaignSummary) -> "StudyResult":
+        """Fold a finished campaign's shards into the unified study result."""
+        campaign = self.campaign_config()
+        aggregate = aggregate_campaign(summary.output_dir)
         return StudyResult(
             experiment=campaign.experiment,
             algorithms=tuple(campaign.algorithms),
             runs=aggregate.runs,
             campaign=summary,
         )
+
+    def _run_campaign(self) -> "StudyResult":
+        return self.collect(self.submit().wait())
 
 
 @dataclass

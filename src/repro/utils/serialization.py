@@ -35,6 +35,21 @@ def write_json_atomic(payload: Any, path: "str | Path", indent: int | None = 2) 
     return path
 
 
+def json_line(payload: Any) -> bytes:
+    """Encode one newline-terminated compact JSON line (JSONL record).
+
+    The append-only twin of :func:`write_json_atomic`, shared by the campaign
+    event log and shard compaction: both write single-line records whose
+    exact byte length matters at write time — the event log appends each line
+    with one ``os.write`` on an ``O_APPEND`` descriptor (POSIX keeps
+    concurrent single writes from interleaving), and the rollup records each
+    line's byte range in the manifest index so one cell is read with one
+    seek.  Compact separators keep a record's bytes canonical for a given
+    payload.
+    """
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
 def design_to_dict(design: NocDesign) -> dict[str, Any]:
     """Convert a design to a JSON-serialisable dictionary."""
     return {

@@ -140,14 +140,34 @@ class TestRunCampaign:
             np.testing.assert_array_equal(inline[key], pooled[key])
 
 
+def _break_even_platform() -> PlatformConfig:
+    """An 8x8x4 (256-tile) platform, the projected pool break-even scale."""
+    return PlatformConfig(
+        n=8, layers=4, num_cpus=32, num_gpus=160, num_llcs=64,
+        num_planar_links=448, num_vertical_links=192, name="bench-8x8x4",
+    )
+
+
 class TestParallelEvaluationPolicy:
-    def test_auto_enabled_for_paper_class_platform_when_serial(self):
+    def test_auto_disabled_for_paper_platform(self):
+        """PR-4 finding: the pool path is *slower* than the vectorized serial
+        path at 64 tiles, so the paper platform must no longer auto-enable it
+        (see docs/performance.md)."""
         experiment = replace(ExperimentConfig.paper_scale(), applications=("BFS",))
+        assert experiment.platform.num_tiles < PARALLEL_EVALUATION_MIN_TILES
+        assert not CampaignConfig(experiment=experiment, max_workers=1).resolve_parallel_evaluation()
+
+    def test_auto_enabled_at_break_even_scale_when_serial(self):
+        experiment = replace(
+            ExperimentConfig.paper_scale(), platform=_break_even_platform(), applications=("BFS",)
+        )
         assert experiment.platform.num_tiles >= PARALLEL_EVALUATION_MIN_TILES
         assert CampaignConfig(experiment=experiment, max_workers=1).resolve_parallel_evaluation()
 
     def test_auto_disabled_when_campaign_fans_out(self):
-        experiment = replace(ExperimentConfig.paper_scale(), applications=("BFS",))
+        experiment = replace(
+            ExperimentConfig.paper_scale(), platform=_break_even_platform(), applications=("BFS",)
+        )
         assert not CampaignConfig(experiment=experiment, max_workers=4).resolve_parallel_evaluation()
 
     def test_auto_disabled_for_small_platforms(self):

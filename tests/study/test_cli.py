@@ -18,6 +18,23 @@ class TestList:
         assert main(["list", "-v"]) == 0
         assert "population_size" in capsys.readouterr().out
 
+    def test_verbose_prints_full_schema_per_optimizer(self, capsys):
+        assert main(["list", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "hyperparameters:" in out
+        assert "aliases:" in out  # MOEA/D registers alias spellings
+        assert "docs/configuration.md" in out  # pointer to the schema docs
+
+
+class TestHelpEpilogs:
+    @pytest.mark.parametrize("command", [[], ["run"], ["campaign"], ["tables"],
+                                         ["compact"], ["list"]])
+    def test_help_points_at_the_docs(self, command, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*command, "--help"])
+        assert excinfo.value.code == 0
+        assert "docs/cli.md" in capsys.readouterr().out
+
 
 class TestRun:
     def test_single_run_via_flags(self, capsys):
@@ -123,6 +140,74 @@ class TestCampaignAndTables:
         out = capsys.readouterr().out
         assert "workers=2" in out
         assert (tmp_path / "out" / "manifest.json").exists()
+
+    def test_campaign_follow_streams_worker_events(self, campaign_dir, capsys):
+        """--follow on a pooled campaign renders per-iteration events that
+        crossed the process boundary through the event log."""
+        code = main([
+            "campaign", "--preset", "smoke", "--apps", "BFS", "BP",
+            "--algorithms", "MOEA/D", "NSGA-II", "--evaluations", "30",
+            "--workers", "2", "--output-dir", str(campaign_dir), "--follow",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "following" in out and "events.jsonl" in out
+        assert "shard started" in out and "shard finished" in out
+        assert "iteration" in out  # pooled per-iteration events streamed live
+        assert "executed 4 cells" in out
+        assert (campaign_dir / "events.jsonl").exists()
+
+    def test_compact_subcommand_rolls_and_tables_read_the_rollup(self, campaign_dir, capsys):
+        assert self._campaign(campaign_dir) == 0
+        capsys.readouterr()
+        assert main(["tables", "--output-dir", str(campaign_dir)]) == 0
+        before = capsys.readouterr().out
+
+        assert main(["compact", "--output-dir", str(campaign_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "rollup" in out and "2 cells indexed" in out
+        assert not list(campaign_dir.glob("cell_*.json"))
+
+        assert main(["tables", "--output-dir", str(campaign_dir)]) == 0
+        assert capsys.readouterr().out == before  # byte-for-byte from the rollup
+
+    def test_compact_with_nothing_completed_fails_cleanly(self, tmp_path, capsys):
+        (tmp_path / "manifest.json").write_text(json.dumps({
+            "format": "repro-campaign/1", "cells": [],
+        }))
+        assert main(["compact", "--output-dir", str(tmp_path)]) == 1
+        assert "no completed cells" in capsys.readouterr().err
+
+    def test_campaign_config_event_log_false_is_honored(self, tmp_path, capsys):
+        """A config file's `campaign.event_log = false` must survive the CLI's
+        settings plumbing (flags merely override, never silently reset)."""
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({
+            "preset": "smoke",
+            "applications": ["BFS"],
+            "algorithms": ["NSGA-II"],
+            "evaluations": 30,
+            "campaign": {"output_dir": str(tmp_path / "out"), "event_log": False},
+        }))
+        assert main(["campaign", "--config", str(config), "--no-progress"]) == 0
+        assert (tmp_path / "out" / "manifest.json").exists()
+        assert not (tmp_path / "out" / "events.jsonl").exists()
+
+    def test_follow_overrides_config_event_log_false(self, tmp_path, capsys):
+        """--follow streams the durable log by definition, so the explicit
+        flag outranks a config file's campaign.event_log = false."""
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({
+            "preset": "smoke",
+            "applications": ["BFS"],
+            "algorithms": ["NSGA-II"],
+            "evaluations": 30,
+            "campaign": {"output_dir": str(tmp_path / "out"), "event_log": False},
+        }))
+        assert main(["campaign", "--config", str(config), "--follow"]) == 0
+        out = capsys.readouterr().out
+        assert "enables the event log" in out
+        assert (tmp_path / "out" / "events.jsonl").exists()
 
     def test_campaign_without_output_dir_fails(self, capsys):
         assert main(["campaign", "--preset", "smoke", "--no-progress"]) == 2

@@ -1,0 +1,139 @@
+"""Tests for the durable JSONL event log (writer, tailer, crash tolerance)."""
+
+import json
+
+import pytest
+
+from repro.study.event_log import (
+    EVENT_LOG_NAME,
+    EventLogReader,
+    EventLogWriter,
+    read_event_log,
+)
+from repro.study.events import StudyEvent
+
+
+def _event(kind="iteration", **overrides):
+    defaults = dict(
+        kind=kind,
+        algorithm="MOELA",
+        application="BFS",
+        num_objectives=3,
+        iteration=2,
+        evaluations=40,
+        elapsed_seconds=1.25,
+        payload={"front_size": 5, "key": "MOELA_BFS_3obj"},
+    )
+    defaults.update(overrides)
+    return StudyEvent(**defaults)
+
+
+class TestEventSerialization:
+    def test_round_trip_preserves_every_field(self):
+        event = _event()
+        clone = StudyEvent.from_dict(event.to_dict())
+        assert clone == event
+
+    def test_none_fields_are_omitted_and_restored(self):
+        event = StudyEvent(kind="campaign_started", payload={"cells": 4})
+        data = event.to_dict()
+        assert "algorithm" not in data and "iteration" not in data
+        clone = StudyEvent.from_dict(data)
+        assert clone.algorithm is None and clone.iteration is None
+        assert clone == event
+
+    def test_to_dict_is_json_serialisable(self):
+        json.dumps(_event().to_dict())
+
+    def test_from_dict_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            StudyEvent.from_dict({"kind": "carrier-pigeon"})
+
+
+class TestWriterReader:
+    def test_append_then_replay(self, tmp_path):
+        path = tmp_path / EVENT_LOG_NAME
+        with EventLogWriter(path, origin="campaign") as writer:
+            writer.append(_event("run_started", iteration=0))
+            writer.append(_event("iteration"))
+            writer.append(_event("run_finished", iteration=9))
+        records = read_event_log(path)
+        assert [r.event.kind for r in records] == ["run_started", "iteration", "run_finished"]
+        assert all(r.origin == "campaign" for r in records)
+        assert [r.seq for r in records] == [0, 1, 2]
+
+    def test_writer_is_usable_as_event_callback(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, origin="x")
+        writer(_event())  # __call__ aliases append
+        writer.close()
+        assert len(read_event_log(path)) == 1
+
+    def test_interleaved_writers_keep_per_origin_monotonic_seq(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        a = EventLogWriter(path, origin="cell-A")
+        b = EventLogWriter(path, origin="cell-B")
+        a.append(_event()); b.append(_event()); a.append(_event()); b.append(_event())
+        a.close(); b.close()
+        records = read_event_log(path)
+        for origin in ("cell-A", "cell-B"):
+            seqs = [r.seq for r in records if r.origin == origin]
+            assert seqs == sorted(seqs) == list(range(len(seqs)))
+
+    def test_poll_is_incremental(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, origin="w")
+        reader = EventLogReader(path)
+        assert reader.poll() == []
+        writer.append(_event())
+        assert len(reader.poll()) == 1
+        assert reader.poll() == []
+        writer.append(_event()); writer.append(_event())
+        assert len(reader.poll()) == 2
+        writer.close()
+
+    def test_start_at_end_skips_history(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, origin="w")
+        writer.append(_event("run_started", iteration=0))
+        reader = EventLogReader(path, start_at_end=True)
+        assert reader.poll() == []
+        writer.append(_event("run_finished", iteration=3))
+        assert [r.event.kind for r in reader.poll()] == ["run_finished"]
+        writer.close()
+
+    def test_missing_file_polls_empty(self, tmp_path):
+        assert EventLogReader(tmp_path / "absent.jsonl").poll() == []
+
+
+class TestCrashTolerance:
+    def test_trailing_partial_line_is_not_consumed_until_complete(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, origin="w")
+        writer.append(_event())
+        writer.close()
+        full_line = path.read_bytes()
+        # Simulate an append cut mid-write: a torn line with no newline.
+        with open(path, "ab") as handle:
+            handle.write(full_line[: len(full_line) // 2].rstrip(b"\n"))
+        reader = EventLogReader(path)
+        assert len(reader.poll()) == 1  # only the complete first line
+        assert reader.corrupt_lines == 0
+
+    def test_torn_middle_line_is_skipped_and_counted(self, tmp_path):
+        """A writer killed mid-write followed by a resumed campaign's appends
+        produces one corrupted joined line; replay skips exactly that one."""
+        path = tmp_path / "log.jsonl"
+        writer = EventLogWriter(path, origin="first-run")
+        writer.append(_event("run_started", iteration=0))
+        writer.append(_event())
+        writer.close()
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])  # tear the last line's tail off
+        resumed = EventLogWriter(path, origin="second-run")
+        resumed.append(_event("run_finished", iteration=5))
+        resumed.close()
+        reader = EventLogReader(path)
+        records = reader.poll()
+        assert [r.event.kind for r in records] == ["run_started", "run_finished"]
+        assert reader.corrupt_lines == 1
