@@ -140,8 +140,6 @@ def test_batched_nsga2_brood_scoring_speedup_and_equivalence():
 @pytest.mark.benchmark(group="campaign")
 def test_campaign_two_cell_grid(benchmark, tmp_path):
     """End-to-end 2-cell sharded campaign (manifest + shards + resume check)."""
-    from dataclasses import replace
-
     from repro.experiments.config import CampaignConfig, ExperimentConfig
     from repro.experiments.runner import campaign_status, run_campaign
 

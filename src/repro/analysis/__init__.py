@@ -1,0 +1,44 @@
+"""Static analysis for the reproduction's determinism and safety contracts.
+
+The package is a pluggable AST rule engine (``repro lint`` on the command
+line, :func:`analyze_paths` as a library) enforcing the contracts the test
+suite can only check after the fact: seeded bit-identical runs, cache tiers
+that never serve mutated state, module-level-picklable pool tasks, and
+atomic/durable campaign writes.  See ``docs/linting.md`` for the rule
+catalogue, the ``# repro: allow[RULE-ID]`` suppression syntax and the
+baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry, baseline_from_findings
+from repro.analysis.context import ModuleContext
+from repro.analysis.engine import (
+    LintReport,
+    analyze_modules,
+    analyze_paths,
+    iter_python_files,
+    parse_modules,
+)
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ProjectIndex, build_index
+from repro.analysis.rules import Rule, RuleMeta, all_rules, register, rules_for
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintReport",
+    "ModuleContext",
+    "ProjectIndex",
+    "Rule",
+    "RuleMeta",
+    "Severity",
+    "all_rules",
+    "analyze_modules",
+    "analyze_paths",
+    "baseline_from_findings",
+    "build_index",
+    "iter_python_files",
+    "parse_modules",
+    "register",
+    "rules_for",
+]

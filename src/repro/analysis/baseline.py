@@ -1,0 +1,136 @@
+"""The committed lint baseline: grandfathered findings, reviewed in one place.
+
+The baseline file (``lint-baseline.json`` at the repository root) holds the
+findings that are *deliberately* exempt — e.g. the unseeded escape hatch
+inside ``repro/utils/rng.py``, which is the sanctioned home of the behaviour
+REP001 bans everywhere else.  Entries match findings by :attr:`Finding.fingerprint`
+(rule + path + stripped source line, not line numbers), so edits elsewhere in
+a file never invalidate them; matching is count-aware, so two identical lines
+need two entries.
+
+``repro lint --write-baseline`` regenerates the file from the current
+findings, carrying forward the human-written ``note`` of any entry whose
+fingerprint survives.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+#: Format tag written into every baseline file (bump on incompatible changes).
+BASELINE_FORMAT = "repro-lint-baseline/1"
+
+#: Default baseline file name, looked up relative to the working directory.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    fingerprint: str
+    note: str = ""
+
+    def to_dict(self) -> dict[str, str]:
+        payload = {"rule": self.rule, "path": self.path, "fingerprint": self.fingerprint}
+        if self.note:
+            payload["note"] = self.note
+        return payload
+
+
+@dataclass
+class Baseline:
+    """A parsed baseline file plus count-aware matching state."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+    path: "Path | None" = None
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read a baseline file (raises ``ValueError`` on a foreign format)."""
+        path = Path(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+            raise ValueError(f"{path} is not a {BASELINE_FORMAT} baseline file")
+        entries = [
+            BaselineEntry(
+                rule=str(entry["rule"]),
+                path=str(entry["path"]),
+                fingerprint=str(entry["fingerprint"]),
+                note=str(entry.get("note", "")),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries=entries, path=path)
+
+    def apply(self, findings: "list[Finding]") -> "tuple[list[Finding], list[BaselineEntry]]":
+        """Mark baselined findings; return (updated findings, stale entries).
+
+        Matching is count-aware: each entry absorbs at most one finding with
+        its fingerprint.  Entries that match nothing are returned as *stale*
+        so the report can nudge toward pruning them.
+        """
+        budget = Counter(entry.fingerprint for entry in self.entries)
+        updated: list[Finding] = []
+        for finding in findings:
+            if not finding.suppressed and budget.get(finding.fingerprint, 0) > 0:
+                budget[finding.fingerprint] -= 1
+                updated.append(finding.baseline())
+            else:
+                updated.append(finding)
+        # Whatever budget is left matches nothing on disk any more: report one
+        # stale entry per unmatched count so pruning stays count-aware too.
+        stale: list[BaselineEntry] = []
+        for entry in self.entries:
+            if budget.get(entry.fingerprint, 0) > 0:
+                budget[entry.fingerprint] -= 1
+                stale.append(entry)
+        return updated, stale
+
+    def write(self, path: "str | Path") -> Path:
+        """Write the baseline file (sorted entries, trailing newline)."""
+        path = Path(path)
+        payload = {
+            "format": BASELINE_FORMAT,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda entry: (entry.path, entry.rule, entry.fingerprint)
+                )
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+
+def baseline_from_findings(
+    findings: "list[Finding]", previous: "Baseline | None" = None
+) -> Baseline:
+    """Build a baseline covering every non-suppressed finding.
+
+    Notes from ``previous`` are carried forward for entries whose fingerprint
+    still exists, so regenerating the file does not lose the human rationale.
+    """
+    notes: dict[str, str] = {}
+    if previous is not None:
+        for entry in previous.entries:
+            if entry.note:
+                notes.setdefault(entry.fingerprint, entry.note)
+    entries = [
+        BaselineEntry(
+            rule=finding.rule_id,
+            path=finding.path,
+            fingerprint=finding.fingerprint,
+            note=notes.get(finding.fingerprint, ""),
+        )
+        for finding in findings
+        if not finding.suppressed
+    ]
+    return Baseline(entries=entries)

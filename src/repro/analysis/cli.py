@@ -1,0 +1,137 @@
+"""The ``repro lint`` subcommand: the CI gate over the analysis engine.
+
+Exit codes follow the convention the CI job and the tests pin down:
+
+* ``0`` — no active findings (suppressed/baselined ones may exist);
+* ``1`` — at least one active finding;
+* ``2`` — usage error (missing path, unknown rule id, unreadable baseline).
+
+``--write-baseline`` regenerates the committed baseline from the current
+findings (carrying forward entry notes) and exits 0; ``--report`` writes the
+full JSON report for the CI artifact regardless of outcome.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME, Baseline, baseline_from_findings
+from repro.analysis.engine import LintReport, analyze_paths
+from repro.analysis.rules import all_rules
+
+#: ``--help`` epilog pointing at the rule catalogue.
+LINT_EPILOG = (
+    "Rule catalogue, suppression syntax (# repro: allow[RULE-ID]) and the "
+    "baseline workflow: docs/linting.md."
+)
+
+
+def add_lint_parser(subparsers: "argparse._SubParsersAction") -> argparse.ArgumentParser:
+    """Register the ``lint`` subcommand on the main CLI's subparsers."""
+    parser = subparsers.add_parser(
+        "lint",
+        help="statically check determinism, cache-safety and pool-boundary contracts",
+        epilog=LINT_EPILOG,
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyse (default: src)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file of grandfathered findings "
+                        f"(default: {DEFAULT_BASELINE_NAME} when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="regenerate the baseline from the current findings and exit 0")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--format", dest="output_format", default="text",
+                        choices=("text", "json"),
+                        help="findings output format")
+    parser.add_argument("--report", default=None,
+                        help="also write the full JSON report to this file (CI artifact)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.set_defaults(handler=run_lint)
+    return parser
+
+
+def _print_rule_catalogue() -> None:
+    print("registered lint rules:")
+    for rule in all_rules():
+        print(f"  {rule.meta.id}  {rule.meta.name:<24} {rule.meta.summary}")
+    print("\nsuppress one line with `# repro: allow[RULE-ID]`; details: docs/linting.md")
+
+
+def _resolve_baseline(args: argparse.Namespace) -> "Baseline | None":
+    """The baseline to apply (explicit path > default file > none)."""
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        if args.write_baseline and not Path(args.baseline).exists():
+            return None  # regenerating from scratch: nothing to carry forward
+        return Baseline.load(args.baseline)  # missing/corrupt -> usage error
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.exists():
+        return Baseline.load(default)
+    return None
+
+
+def _emit(report: LintReport, args: argparse.Namespace) -> None:
+    if args.output_format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.findings:
+            if not finding.suppressed and not finding.baselined:
+                print(finding.describe())
+        active = report.active
+        print(
+            f"checked {report.files_scanned} files: {len(active)} finding(s) "
+            f"({len(report.baselined)} baselined, {len(report.suppressed)} suppressed)"
+        )
+        for entry in report.stale_baseline_entries:
+            print(
+                f"note: stale baseline entry {entry.rule} for {entry.path} "
+                "matches nothing; regenerate with --write-baseline"
+            )
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Entry point wired into the main ``repro`` CLI."""
+    if args.list_rules:
+        _print_rule_catalogue()
+        return 0
+    select = None
+    if args.select:
+        select = [part.strip() for part in args.select.split(",") if part.strip()]
+    try:
+        baseline = _resolve_baseline(args)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"error: cannot read baseline: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = analyze_paths(args.paths, select=select, baseline=baseline)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        target = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+        previous = baseline
+        fresh = baseline_from_findings(
+            [finding for finding in report.findings if finding.rule_id != "REP000"],
+            previous=previous,
+        )
+        fresh.write(target)
+        print(f"baseline written: {target} ({len(fresh.entries)} entries)")
+        return 0
+    _emit(report, args)
+    return 1 if report.active else 0

@@ -1,0 +1,177 @@
+"""The analysis engine: file discovery, the two passes, report assembly.
+
+``analyze_paths`` is the library front door (the CLI in
+:mod:`repro.analysis.cli` is a thin shell around it):
+
+1. discover ``*.py`` files under the given paths (files are taken verbatim,
+   directories walked recursively, ``__pycache__`` skipped);
+2. parse every file once into a :class:`~repro.analysis.context.ModuleContext`
+   (a file that fails to parse yields the synthetic ``REP000`` finding
+   instead of aborting the run);
+3. build the cross-module :class:`~repro.analysis.index.ProjectIndex`;
+4. run every selected rule over every module;
+5. mark inline-suppressed findings, then (optionally) apply the baseline.
+
+Findings come back sorted by path, line, column and rule id — stable output
+is part of the tool's own determinism contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence, Type
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.index import ProjectIndex, build_index
+from repro.analysis.rules import Rule, rules_for
+
+#: Synthetic rule id for files the engine could not parse.
+SYNTAX_ERROR_RULE = "REP000"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    stale_baseline_entries: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that gate the run (not suppressed, not baselined)."""
+        return [finding for finding in self.findings if finding.active]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable report (the CI artifact)."""
+        return {
+            "files_scanned": self.files_scanned,
+            "active": len(self.active),
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline_entries": [
+                entry.to_dict() for entry in self.stale_baseline_entries
+            ],
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+
+def iter_python_files(paths: Sequence["str | Path"]) -> list[Path]:
+    """Every ``*.py`` file under ``paths`` (deterministic order, no dupes).
+
+    Raises ``FileNotFoundError`` for a path that does not exist — a silent
+    typo in CI would otherwise lint nothing and pass.
+    """
+    seen: set[Path] = set()
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"lint path does not exist: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        for candidate in candidates:
+            marker = candidate.resolve()
+            if marker not in seen:
+                seen.add(marker)
+                files.append(candidate)
+    return files
+
+
+def _normalized_path(path: Path) -> str:
+    """Repo-relative posix path when possible (stable baseline fingerprints)."""
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def parse_modules(files: Iterable[Path]) -> "tuple[list[ModuleContext], list[Finding]]":
+    """Parse every file; unparseable ones become ``REP000`` findings."""
+    contexts: list[ModuleContext] = []
+    errors: list[Finding] = []
+    for file_path in files:
+        normalized = _normalized_path(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            contexts.append(ModuleContext(normalized, source))
+        except (SyntaxError, ValueError, UnicodeDecodeError) as error:
+            lineno = getattr(error, "lineno", None) or 1
+            errors.append(
+                Finding(
+                    rule_id=SYNTAX_ERROR_RULE,
+                    path=normalized,
+                    line=int(lineno),
+                    col=int(getattr(error, "offset", None) or 0),
+                    message=f"file could not be parsed: {error}",
+                    severity=Severity.ERROR,
+                )
+            )
+    return contexts, errors
+
+
+def analyze_modules(
+    contexts: Sequence[ModuleContext],
+    rule_classes: "Sequence[Type[Rule]] | None" = None,
+    index: "ProjectIndex | None" = None,
+) -> list[Finding]:
+    """Run the selected rules over already-parsed modules."""
+    selected = list(rule_classes) if rule_classes is not None else rules_for(None)
+    project = index if index is not None else build_index(contexts)
+    findings: list[Finding] = []
+    for context in contexts:
+        for rule_class in selected:
+            findings.extend(rule_class(context, project).run())
+    return _mark_suppressed(findings, {context.path: context for context in contexts})
+
+
+def _mark_suppressed(
+    findings: list[Finding], contexts: "dict[str, ModuleContext]"
+) -> list[Finding]:
+    marked: list[Finding] = []
+    for finding in findings:
+        context = contexts.get(finding.path)
+        allowed = context.suppressions.get(finding.line, set()) if context else set()
+        if finding.rule_id in allowed or "*" in allowed:
+            marked.append(finding.suppress())
+        else:
+            marked.append(finding)
+    return marked
+
+
+def analyze_paths(
+    paths: Sequence["str | Path"],
+    select: "list[str] | None" = None,
+    baseline: "Baseline | None" = None,
+) -> LintReport:
+    """Full pipeline: discover, parse, index, run rules, suppress, baseline."""
+    files = iter_python_files(paths)
+    contexts, errors = parse_modules(files)
+    findings = errors + analyze_modules(contexts, rules_for(select))
+    stale: list[BaselineEntry] = []
+    if baseline is not None:
+        findings, stale = baseline.apply(findings)
+    findings.sort(key=lambda finding: (finding.path, finding.line, finding.col, finding.rule_id))
+    return LintReport(
+        findings=findings,
+        files_scanned=len(files),
+        stale_baseline_entries=stale,
+    )

@@ -1,0 +1,90 @@
+"""The lint data model: severities and :class:`Finding` records.
+
+A finding is one rule violation at one source location.  Findings are frozen
+value objects so the engine can hold them in sets, compare them in tests, and
+derive the stable *fingerprint* the baseline file matches on: the fingerprint
+hashes the rule id, the file path and the stripped source line — **not** the
+line number — so baselined findings survive unrelated edits above them in the
+same file.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, replace
+
+
+class Severity(enum.Enum):
+    """How a finding affects the lint exit status."""
+
+    ERROR = "error"  # gates CI: exit 1 unless suppressed or baselined
+    WARNING = "warning"  # reported, never gates
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one ``path:line:col`` location.
+
+    ``suppressed`` marks findings silenced by an inline
+    ``# repro: allow[RULE-ID]`` comment; ``baselined`` marks findings matched
+    by an entry of the committed baseline file.  Both stay in the report (the
+    JSON artifact records them for audits) but neither affects the exit code.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    severity: Severity = Severity.ERROR
+    source_line: str = ""
+    suppressed: bool = False
+    baselined: bool = False
+
+    @property
+    def active(self) -> bool:
+        """True when the finding should gate the lint run."""
+        return (
+            not self.suppressed and not self.baselined and self.severity is Severity.ERROR
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline: rule + path + source text."""
+        material = f"{self.rule_id}|{self.path}|{self.source_line.strip()}"
+        return hashlib.sha256(material.encode("utf-8")).hexdigest()[:16]
+
+    def suppress(self) -> "Finding":
+        """A copy marked as inline-suppressed."""
+        return replace(self, suppressed=True)
+
+    def baseline(self) -> "Finding":
+        """A copy marked as matched by the baseline file."""
+        return replace(self, baselined=True)
+
+    def describe(self) -> str:
+        """The one-line human rendering used by the text formatter."""
+        flags = ""
+        if self.suppressed:
+            flags = " (suppressed)"
+        elif self.baselined:
+            flags = " (baselined)"
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}{flags}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable form (the ``--report`` artifact records these)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": str(self.severity),
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+            "suppressed": self.suppressed,
+            "baselined": self.baselined,
+        }

@@ -1,0 +1,69 @@
+"""Cross-module facts collected before any rule runs.
+
+Some contracts are only visible across files: ``REP004`` must know which
+class names are frozen dataclasses *anywhere in the analysed fileset* to flag
+an attribute assignment on an annotated parameter in another module.  The
+engine therefore makes a first pass over every parsed module and builds one
+:class:`ProjectIndex`, which every rule instance receives alongside its
+module context.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.context import ModuleContext
+
+
+@dataclass
+class ProjectIndex:
+    """Whole-fileset symbol facts shared by every rule."""
+
+    #: Names of dataclasses declared with ``frozen=True`` anywhere analysed.
+    frozen_classes: set[str] = field(default_factory=set)
+    #: Names of classes carrying a (any) ``@dataclass`` decorator.
+    dataclass_names: set[str] = field(default_factory=set)
+
+    def is_frozen_class(self, name: str) -> bool:
+        """True when ``name`` (bare class name) is a known frozen dataclass."""
+        return name in self.frozen_classes
+
+
+def dataclass_decorator_of(node: ast.ClassDef) -> "ast.expr | None":
+    """The ``@dataclass`` / ``@dataclass(...)`` decorator of a class, if any."""
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", None)
+        if name == "dataclass":
+            return decorator
+    return None
+
+
+def is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    """True when the class is decorated ``@dataclass(frozen=True)``."""
+    decorator = dataclass_decorator_of(node)
+    if not isinstance(decorator, ast.Call):
+        return False
+    for keyword in decorator.keywords:
+        if keyword.arg == "frozen":
+            return isinstance(keyword.value, ast.Constant) and keyword.value.value is True
+    return False
+
+
+def build_index(contexts: Iterable[ModuleContext]) -> ProjectIndex:
+    """First pass: collect frozen/dataclass names over every analysed module."""
+    index = ProjectIndex()
+    # Product types the repo's cache tiers hand out as read-only views are
+    # frozen even when their defining module is outside the analysed paths.
+    index.frozen_classes.update({"NocDesign", "MoveDelta"})
+    for context in contexts:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if dataclass_decorator_of(node) is not None:
+                index.dataclass_names.add(node.name)
+            if is_frozen_dataclass(node):
+                index.frozen_classes.add(node.name)
+    return index

@@ -1,0 +1,122 @@
+"""Rule framework: per-rule metadata, the visitor base class, the registry.
+
+A rule is an :class:`ast.NodeVisitor` subclass carrying a :class:`RuleMeta`
+class attribute and decorated with :func:`register`.  The engine instantiates
+every registered rule once per module, runs it over the module's AST, and
+collects the findings it reported through :meth:`Rule.report`.  Rules never
+see suppressions or the baseline — those are applied by the engine afterwards
+so every mechanism behaves identically across rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, ClassVar, Type
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding, Severity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.index import ProjectIndex
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Identity and documentation of one rule (rendered by ``--list-rules``)."""
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+    severity: Severity = Severity.ERROR
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for all lint rules.
+
+    Subclasses set :attr:`meta`, implement ``visit_*`` methods, and call
+    :meth:`report` for every violation.  ``self.context`` is the module under
+    analysis and ``self.index`` the cross-module :class:`ProjectIndex` (frozen
+    dataclass names and friends collected over the whole fileset).
+    """
+
+    meta: ClassVar[RuleMeta]
+
+    def __init__(self, context: ModuleContext, index: "ProjectIndex") -> None:
+        self.context = context
+        self.index = index
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        """Visit the module and return this rule's findings."""
+        self.visit(self.context.tree)
+        self.finish()
+        return self.findings
+
+    def finish(self) -> None:
+        """Hook for whole-module checks after the visit completes."""
+
+    def report(self, node: ast.AST, message: str) -> None:
+        """Record one violation anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        self.findings.append(
+            Finding(
+                rule_id=self.meta.id,
+                path=self.context.path,
+                line=lineno,
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                severity=self.meta.severity,
+                source_line=self.context.source_line(lineno),
+            )
+        )
+
+
+#: Registry of every rule class, keyed by rule id (populated by @register).
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule_id = rule_class.meta.id
+    if rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_id!r}")
+    _REGISTRY[rule_id] = rule_class
+    return rule_class
+
+
+def all_rules() -> "list[Type[Rule]]":
+    """Every registered rule class, sorted by rule id."""
+    _load_builtin_rules()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rules_for(select: "list[str] | None") -> "list[Type[Rule]]":
+    """Resolve a ``--select`` list (None means every registered rule)."""
+    available = {rule.meta.id: rule for rule in all_rules()}
+    if select is None:
+        return list(available.values())
+    unknown = [rule_id for rule_id in select if rule_id not in available]
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s) {', '.join(sorted(unknown))}; "
+            f"available: {', '.join(sorted(available))}"
+        )
+    return [available[rule_id] for rule_id in sorted(set(select))]
+
+
+def _load_builtin_rules() -> None:
+    """Import the built-in rule modules (idempotent; registration is import-time)."""
+    from repro.analysis import (  # noqa: F401  (imported for registration side effect)
+        rules_cache,
+        rules_entropy,
+        rules_io,
+        rules_ordering,
+        rules_pool,
+        rules_rng,
+    )
+
+
+#: Convenience callable type for engine plumbing.
+RuleFactory = Callable[[ModuleContext, "ProjectIndex"], Rule]

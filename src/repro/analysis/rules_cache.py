@@ -1,0 +1,182 @@
+"""REP004 — cache safety: no mutation of frozen products or cached views.
+
+Both cache tiers hand out shared objects: the routing engine serves routing
+tables keyed on a design's link set, and the objective evaluator serves
+read-only cached objective vectors.  A single attribute assignment on a
+shared product corrupts every past and future consumer of the cache entry.
+Statically, the rule flags:
+
+* attribute assignment through a name whose annotation (parameter or local)
+  is a known ``frozen=True`` dataclass (``NocDesign``, ``MoveDelta``, any
+  frozen dataclass in the analysed fileset) — including ``self`` inside a
+  frozen class's methods outside ``__post_init__``/``__new__``;
+* ``object.__setattr__(...)`` anywhere except inside a method of the frozen
+  dataclass being initialised — the one legitimate construction-time use;
+* a ``@dataclass`` that is *not* frozen but defines ``__hash__`` or ``key``:
+  a mutable object used as a cache key can change identity after insertion.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Severity
+from repro.analysis.index import dataclass_decorator_of, is_frozen_dataclass
+from repro.analysis.rules import Rule, RuleMeta, register
+
+if TYPE_CHECKING:  # circular-at-runtime helper types
+    from repro.analysis.context import ModuleContext
+    from repro.analysis.index import ProjectIndex
+
+#: Methods of a frozen dataclass allowed to call ``object.__setattr__``.
+_INIT_METHODS = {"__post_init__", "__init__", "__new__", "__setstate__"}
+
+
+def _annotation_name(annotation: "ast.expr | None") -> "str | None":
+    """Bare class name of a simple annotation (``NocDesign``, ``x.NocDesign``)."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.split(".")[-1].strip("'\" ")
+    return None
+
+
+@register
+class CacheSafetyRule(Rule):
+    meta = RuleMeta(
+        id="REP004",
+        name="cache-safety",
+        summary="mutation of a frozen product / cached view, or a mutable cache-key type",
+        rationale=(
+            "Cache tiers share products across consumers; mutating one, or "
+            "hashing a mutable key, silently corrupts every cache hit."
+        ),
+        severity=Severity.ERROR,
+    )
+
+    def __init__(self, context: "ModuleContext", index: "ProjectIndex") -> None:
+        super().__init__(context, index)
+        #: name -> frozen class it is annotated as, per enclosing function.
+        self._typed_stack: list[dict[str, str]] = [{}]
+
+    # ------------------------------------------------------------------ #
+    # Scope management: collect frozen-typed names per function
+    # ------------------------------------------------------------------ #
+    def _enter_function(self, node: "ast.FunctionDef | ast.AsyncFunctionDef") -> None:
+        typed: dict[str, str] = {}
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            name = _annotation_name(arg.annotation)
+            if name is not None and self.index.is_frozen_class(name):
+                typed[arg.arg] = name
+        enclosing = self.context.enclosing_class(node)
+        if (
+            enclosing is not None
+            and is_frozen_dataclass(enclosing)
+            and node.name not in _INIT_METHODS
+            and args.args
+            and args.args[0].arg == "self"
+        ):
+            typed["self"] = enclosing.name
+        for child in ast.walk(node):
+            if isinstance(child, ast.AnnAssign) and isinstance(child.target, ast.Name):
+                name = _annotation_name(child.annotation)
+                if name is not None and self.index.is_frozen_class(name):
+                    typed[child.target.id] = name
+        self._typed_stack.append(typed)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._typed_stack.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+        self.generic_visit(node)
+        self._typed_stack.pop()
+
+    def _frozen_type_of(self, name: str) -> "str | None":
+        for typed in reversed(self._typed_stack):
+            if name in typed:
+                return typed[name]
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Attribute assignment on frozen products
+    # ------------------------------------------------------------------ #
+    def _check_attribute_target(self, target: ast.expr) -> None:
+        if not isinstance(target, ast.Attribute) or not isinstance(target.value, ast.Name):
+            return
+        frozen_as = self._frozen_type_of(target.value.id)
+        if frozen_as is not None:
+            self.report(
+                target,
+                f"attribute assignment on {target.value.id!r} (frozen "
+                f"{frozen_as}); frozen products are shared cached views — "
+                "build a new instance instead",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_attribute_target(target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_attribute_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_attribute_target(node.target)
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    # object.__setattr__ outside frozen construction
+    # ------------------------------------------------------------------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "__setattr__"
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "object"
+        ):
+            if not self._inside_frozen_init(node):
+                self.report(
+                    node,
+                    "object.__setattr__ outside a frozen dataclass's own "
+                    "construction defeats frozen=True on a shared product",
+                )
+        self.generic_visit(node)
+
+    def _inside_frozen_init(self, node: ast.AST) -> bool:
+        for ancestor in self.context.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                enclosing = self.context.enclosing_class(ancestor)
+                return (
+                    enclosing is not None
+                    and is_frozen_dataclass(enclosing)
+                    and ancestor.name in _INIT_METHODS
+                )
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Mutable cache-key types
+    # ------------------------------------------------------------------ #
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if dataclass_decorator_of(node) is not None and not is_frozen_dataclass(node):
+            hashing = [
+                child.name
+                for child in node.body
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and child.name in {"__hash__", "key"}
+            ]
+            if hashing:
+                self.report(
+                    node,
+                    f"dataclass {node.name!r} defines {', '.join(sorted(hashing))} "
+                    "but is not frozen=True; cache-key value types must be "
+                    "frozen dataclasses or tuples",
+                )
+        self.generic_visit(node)

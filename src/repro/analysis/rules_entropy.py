@@ -1,0 +1,67 @@
+"""REP002 — no wall-clock or OS entropy feeding results or cache keys.
+
+Campaign shards, manifests, cache keys and event payloads must be pure
+functions of (configuration, seed).  Wall-clock reads and OS entropy sources
+make two identically-seeded runs produce different bytes, which breaks shard
+resume comparisons and turns cache keys into per-process one-offs:
+
+* ``time.time()`` / ``time.time_ns()`` — wall clock (``time.monotonic`` and
+  ``time.perf_counter`` remain fine: they measure *durations*, which the
+  result schema stores explicitly as ``elapsed_seconds``);
+* ``datetime.now()`` / ``utcnow()`` / ``today()``;
+* ``uuid.uuid1()`` / ``uuid.uuid4()``;
+* ``os.urandom()`` and the ``secrets`` module.
+
+Timestamps that are genuinely wanted (e.g. a log line for humans) are opted
+in per-line with ``# repro: allow[REP002]``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules import Rule, RuleMeta, register
+
+#: Canonical dotted names of forbidden entropy/wall-clock sources.
+_FORBIDDEN = {
+    "time.time": "wall-clock read",
+    "time.time_ns": "wall-clock read",
+    "datetime.datetime.now": "wall-clock read",
+    "datetime.datetime.utcnow": "wall-clock read",
+    "datetime.datetime.today": "wall-clock read",
+    "datetime.date.today": "wall-clock read",
+    "uuid.uuid1": "host/time-derived UUID",
+    "uuid.uuid4": "OS-entropy UUID",
+    "os.urandom": "OS entropy",
+    "secrets.token_bytes": "OS entropy",
+    "secrets.token_hex": "OS entropy",
+    "secrets.token_urlsafe": "OS entropy",
+    "secrets.randbits": "OS entropy",
+    "secrets.choice": "OS entropy",
+}
+
+
+@register
+class EntropySourceRule(Rule):
+    meta = RuleMeta(
+        id="REP002",
+        name="wall-clock-entropy",
+        summary="wall-clock/uuid/os.urandom value can reach result payloads or cache keys",
+        rationale=(
+            "Results and cache keys must be pure functions of configuration "
+            "and seed; wall-clock and OS entropy values differ between "
+            "identically-seeded runs."
+        ),
+        severity=Severity.ERROR,
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.context.resolve_call(node.func)
+        if resolved in _FORBIDDEN:
+            self.report(
+                node,
+                f"{resolved}() is a {_FORBIDDEN[resolved]}; results and cache "
+                "keys must derive from configuration and seed only",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,195 @@
+"""REP003 — no set iteration into ordered output without ``sorted(...)``.
+
+Set iteration order depends on insertion history and hash values; for
+hash-randomised keys it differs between processes, and even for stable hashes
+it silently re-orders when an upstream code path changes.  Anything that
+flows into serialised or ordered output — JSON shards, list/tuple encodings,
+joined strings, loop bodies that append — must iterate a *sorted* view.
+
+The rule flags a set-valued expression in an ordered consumption position:
+
+* syntactic sets — ``set(...)``, ``frozenset(...)``, set literals and set
+  comprehensions, plus the repo-specific ``*.link_set()`` views; and
+* local names whose every assignment in the enclosing scope is one of those
+  (so ``links = set(...); [l for l in links]`` is caught too).
+
+Ordered positions are ``for`` / comprehension iterables and
+``list``/``tuple``/``enumerate``/``reversed``/``iter``/``str.join`` calls.
+Order-insensitive consumers (``sorted``, ``len``, ``sum``, ``min``, ``max``,
+``any``, ``all``, set algebra, membership) never trigger.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules import Rule, RuleMeta, register
+
+if TYPE_CHECKING:  # circular-at-runtime helper types
+    from repro.analysis.context import ModuleContext
+    from repro.analysis.index import ProjectIndex
+
+#: Call targets whose output order mirrors the iterable's order.
+_ORDERED_CALLS = {"list", "tuple", "enumerate", "reversed", "iter"}
+
+
+def _is_syntactic_set(node: ast.expr) -> bool:
+    """True for expressions that are sets by construction."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {"set", "frozenset"}:
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "link_set":
+            # NocDesign.link_set() is the repo's canonical frozenset view.
+            return True
+    return False
+
+
+class _ScopeSets(ast.NodeVisitor):
+    """Names in one scope whose every binding is a syntactic set expression."""
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.other_names: set[str] = set()
+
+    def _record(self, target: ast.expr, value: "ast.expr | None") -> None:
+        if not isinstance(target, ast.Name):
+            return
+        if value is not None and _is_syntactic_set(value):
+            self.set_names.add(target.id)
+        else:
+            self.other_names.add(target.id)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(target, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node.target, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self.other_names.add(node.target.id)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._record(node.target, None)
+        self.generic_visit(node)
+
+    # Do not descend into nested scopes: their bindings are their own.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass
+
+    def names(self) -> set[str]:
+        return self.set_names - self.other_names
+
+
+@register
+class SetIterationRule(Rule):
+    meta = RuleMeta(
+        id="REP003",
+        name="unordered-set-iteration",
+        summary="set iterated into ordered output without sorted(...)",
+        rationale=(
+            "Set iteration order is an implementation detail; anything "
+            "reaching serialised or ordered output must be sorted first."
+        ),
+        severity=Severity.ERROR,
+    )
+
+    def __init__(self, context: "ModuleContext", index: "ProjectIndex") -> None:
+        super().__init__(context, index)
+        self._scope_stack: list[set[str]] = [self._scope_names(context.tree)]
+
+    @staticmethod
+    def _scope_names(scope_node: ast.AST) -> set[str]:
+        collector = _ScopeSets()
+        for child in ast.iter_child_nodes(scope_node):
+            collector.visit(child)
+        return collector.names()
+
+    def _is_set_valued(self, node: ast.expr) -> bool:
+        if _is_syntactic_set(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in names for names in self._scope_stack)
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Scope management
+    # ------------------------------------------------------------------ #
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._scope_stack.append(self._scope_names(node))
+        self.generic_visit(node)
+        self._scope_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    # ------------------------------------------------------------------ #
+    # Ordered consumption positions
+    # ------------------------------------------------------------------ #
+    def visit_For(self, node: ast.For) -> None:
+        if self._is_set_valued(node.iter):
+            self.report(
+                node.iter,
+                "for-loop iterates a set; wrap the iterable in sorted(...) "
+                "if any ordered or serialised value depends on the body",
+            )
+        self.generic_visit(node)
+
+    def _check_comprehensions(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            if self._is_set_valued(comp.iter):
+                # A set comprehension over a set stays order-free.
+                if isinstance(node, (ast.SetComp, ast.DictComp)):
+                    continue
+                self.report(
+                    comp.iter,
+                    "comprehension iterates a set into an ordered result; "
+                    "iterate sorted(...) instead",
+                )
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._check_comprehensions(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        # Only flag generators feeding ordered consumers; a generator handed
+        # to sum()/any() is order-free, and those wrap the generator directly.
+        parent = self.context.parent_of(node)
+        if isinstance(parent, ast.Call) and self._call_is_order_sensitive(parent):
+            self._check_comprehensions(node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _call_is_order_sensitive(call: ast.Call) -> bool:
+        if isinstance(call.func, ast.Name):
+            return call.func.id in _ORDERED_CALLS
+        return isinstance(call.func, ast.Attribute) and call.func.attr == "join"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._call_is_order_sensitive(node) and node.args:
+            if self._is_set_valued(node.args[0]):
+                target = (
+                    node.func.id
+                    if isinstance(node.func, ast.Name)
+                    else f"str.{node.func.attr}"
+                )
+                self.report(
+                    node.args[0],
+                    f"{target}(...) materialises a set's iteration order; "
+                    "pass sorted(...) instead",
+                )
+        self.generic_visit(node)

@@ -1,0 +1,82 @@
+"""REP001 — no unseeded RNG reachable from result-producing code.
+
+The reproduction's core contract is that seeded runs are bit-identical
+(scalar-vs-batch and cache-on/off equivalence at rtol=1e-12).  Every one of
+these constructs silently breaks that contract:
+
+* ``np.random.default_rng()`` with no seed — OS-entropy generator;
+* any use of the ``random`` module's global functions — hidden process-wide
+  Mersenne state that no seed argument reaches;
+* ``ensure_rng()`` / ``ensure_rng(None)`` without ``allow_unseeded=True`` —
+  the library's own escape hatch invoked implicitly.
+
+The one sanctioned home of the unseeded path is ``repro/utils/rng.py`` itself
+(grandfathered via the committed baseline, not an inline suppression, so the
+exemption is reviewed in one place).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.findings import Severity
+from repro.analysis.rules import Rule, RuleMeta, register
+
+#: ``random`` module attributes that are *not* the shared global state.
+_RANDOM_CLASS_NAMES = {"Random", "SystemRandom"}
+
+
+@register
+class UnseededRngRule(Rule):
+    meta = RuleMeta(
+        id="REP001",
+        name="unseeded-rng",
+        summary="unseeded random generator reachable from result-producing code",
+        rationale=(
+            "Seeded runs must be bit-identical; an unseeded generator or the "
+            "random module's global state makes results irreproducible."
+        ),
+        severity=Severity.ERROR,
+    )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        resolved = self.context.resolve_call(node.func)
+        if resolved is not None:
+            if resolved == "numpy.random.default_rng" and not node.args and not node.keywords:
+                self.report(node, "np.random.default_rng() without a seed")
+            elif self._is_global_random(resolved):
+                self.report(
+                    node,
+                    f"{resolved}() uses the random module's hidden global state; "
+                    "thread an explicit numpy Generator instead",
+                )
+            elif resolved.rsplit(".", 1)[-1] == "ensure_rng" and self._is_implicit_none(node):
+                self.report(
+                    node,
+                    "implicit ensure_rng(None) hands back an unseeded generator; "
+                    "pass a seed/Generator or opt in with allow_unseeded=True",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_global_random(resolved: str) -> bool:
+        parts = resolved.split(".")
+        return (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] not in _RANDOM_CLASS_NAMES
+        )
+
+    @staticmethod
+    def _is_implicit_none(node: ast.Call) -> bool:
+        """True for ``ensure_rng()``/``ensure_rng(None)`` without the opt-in."""
+        for keyword in node.keywords:
+            if keyword.arg == "allow_unseeded":
+                return False
+        if not node.args:
+            rng_kw = next((kw for kw in node.keywords if kw.arg == "rng"), None)
+            if rng_kw is None:
+                return True
+            return isinstance(rng_kw.value, ast.Constant) and rng_kw.value.value is None
+        first = node.args[0]
+        return isinstance(first, ast.Constant) and first.value is None

@@ -1,6 +1,6 @@
 """``python -m repro`` — the command-line front door, built on :class:`Study`.
 
-Five subcommands cover the package's workflows (full reference with session
+Six subcommands cover the package's workflows (full reference with session
 transcripts in ``docs/cli.md``):
 
 ``run``
@@ -23,6 +23,11 @@ transcripts in ``docs/cli.md``):
 ``list``
     Show the registered optimizers; ``--verbose`` adds each optimizer's
     aliases and full hyperparameter schema.
+``lint``
+    Statically check the reproducibility contracts (unseeded RNG, wall-clock
+    entropy, set-iteration order, cache safety, pool boundaries, durable
+    writes) with the :mod:`repro.analysis` rule engine — the CI gate; rule
+    catalogue and baseline workflow in ``docs/linting.md``.
 
 Every algorithm name is resolved through the optimizer registry, so
 registered third-party optimisers are first-class citizens here too.
@@ -34,6 +39,7 @@ import argparse
 import sys
 from typing import Any, Sequence
 
+from repro.analysis.cli import add_lint_parser
 from repro.experiments.compaction import compact_campaign
 from repro.experiments.tables import aggregate_campaign, format_table
 from repro.moo.hypervolume import reference_point_from
@@ -45,7 +51,8 @@ from repro.study.study import PLATFORM_FACTORIES, PRESETS, Study
 DOCS_EPILOG = (
     "Full documentation: docs/cli.md (command reference + transcripts), "
     "docs/configuration.md (study file schema), docs/architecture.md "
-    "(evaluation pipeline), docs/performance.md (measured speedups)."
+    "(evaluation pipeline), docs/performance.md (measured speedups), "
+    "docs/linting.md (repro lint rule catalogue and baseline workflow)."
 )
 
 
@@ -355,6 +362,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "declared hyperparameter schema")
     list_parser.set_defaults(handler=_cmd_list)
 
+    # ``repro lint`` — the static determinism/cache-safety/pool-boundary
+    # analyzer (rules, suppressions and the baseline workflow live in
+    # repro.analysis; catalogue in docs/linting.md).
+    add_lint_parser(subparsers)
+
     return parser
 
 
@@ -366,6 +378,10 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        sys.stderr.close()  # suppress the interpreter's flush-failure warning
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.moo.problem import Problem
 from repro.moo.scalarization import tchebycheff
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class DecompositionEA:
@@ -56,7 +56,7 @@ class DecompositionEA:
         objectives: np.ndarray,
         reference: np.ndarray,
         scale: np.ndarray | None = None,
-        rng=None,
+        rng: RngLike = None,
         evaluate: Callable[[Any], np.ndarray] | None = None,
         evaluate_many: Callable[[list[Any]], np.ndarray] | None = None,
         should_stop: Callable[[], bool] | None = None,

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.noc.design import NocDesign
 from repro.noc.links import LinkKind
-from repro.noc.platform import PEType, PlatformConfig
+from repro.noc.platform import PlatformConfig
 from repro.workloads.workload import Workload
 
 

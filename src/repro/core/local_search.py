@@ -17,7 +17,7 @@ from repro.core.ml_guide import TrainingSample
 from repro.moo.local_search import LocalSearchResult, greedy_descent
 from repro.moo.problem import Problem
 from repro.moo.scalarization import weighted_distance
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -58,7 +58,7 @@ class MoelaLocalSearch:
         weight: np.ndarray,
         reference: np.ndarray,
         scale: np.ndarray | None = None,
-        rng=None,
+        rng: RngLike = None,
         evaluate=None,
         evaluate_many=None,
     ) -> MoelaSearchOutcome:

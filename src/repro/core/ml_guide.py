@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.scaler import StandardScaler
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass
@@ -35,7 +35,7 @@ class TrainingSample:
 class EvalModel:
     """Random-forest ``Eval`` with feature standardisation."""
 
-    def __init__(self, n_estimators: int = 30, max_depth: int = 10, rng=None):
+    def __init__(self, n_estimators: int = 30, max_depth: int = 10, rng: RngLike = None):
         self.n_estimators = n_estimators
         self.max_depth = max_depth
         self.rng = ensure_rng(rng)
@@ -84,7 +84,7 @@ class MLGuide:
         features: np.ndarray,
         weights: np.ndarray,
         n_local: int,
-        rng=None,
+        rng: RngLike = None,
     ) -> np.ndarray:
         """Indices of the ``n_local`` designs with the lowest predicted outcome.
 

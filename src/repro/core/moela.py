@@ -30,7 +30,7 @@ from repro.moo.problem import Problem
 from repro.moo.scalarization import tchebycheff
 from repro.moo.termination import Budget
 from repro.moo.weights import neighborhoods, uniform_weights
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class MOELA(PopulationOptimizer):
@@ -42,7 +42,7 @@ class MOELA(PopulationOptimizer):
         self,
         problem: Problem,
         config: MOELAConfig | None = None,
-        rng=None,
+        rng: RngLike = None,
         batch_evaluation: bool = True,
     ):
         config = config if config is not None else MOELAConfig()

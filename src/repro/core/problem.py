@@ -18,7 +18,7 @@ from repro.noc.design import NocDesign
 from repro.noc.moves import MoveGenerator, mutate
 from repro.noc.platform import PlatformConfig
 from repro.objectives.evaluator import ObjectiveEvaluator, ObjectiveScenario, scenario_for
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 from repro.workloads.workload import Workload
 
 
@@ -92,16 +92,16 @@ class NocDesignProblem(Problem):
     def evaluate_many(self, designs: list[NocDesign]) -> np.ndarray:
         return self.evaluator.evaluate_many(designs, parallel=self.parallel_evaluation)
 
-    def random_design(self, rng=None) -> NocDesign:
+    def random_design(self, rng: RngLike = None) -> NocDesign:
         return random_design(self.config, ensure_rng(rng))
 
-    def neighbor(self, design: NocDesign, rng=None) -> NocDesign:
+    def neighbor(self, design: NocDesign, rng: RngLike = None) -> NocDesign:
         return self.moves.random_neighbor(design, ensure_rng(rng))
 
-    def crossover(self, parent_a: NocDesign, parent_b: NocDesign, rng=None) -> NocDesign:
+    def crossover(self, parent_a: NocDesign, parent_b: NocDesign, rng: RngLike = None) -> NocDesign:
         return crossover(parent_a, parent_b, self.config, ensure_rng(rng))
 
-    def mutate(self, design: NocDesign, rng=None) -> NocDesign:
+    def mutate(self, design: NocDesign, rng: RngLike = None) -> NocDesign:
         if self.mutation_strength < 1:
             return design
         return mutate(

@@ -31,7 +31,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
 
 from repro.experiments.runner import (
     MANIFEST_NAME,

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.tree import DecisionTreeRegressor
-from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_rng
 
 
 class RandomForestRegressor:
@@ -40,7 +40,7 @@ class RandomForestRegressor:
         min_samples_leaf: int = 2,
         max_features: "int | float | str | None" = "sqrt",
         bootstrap: bool = True,
-        rng=None,
+        rng: RngLike = None,
     ):
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")

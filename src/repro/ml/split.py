@@ -4,14 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def train_test_split(
     X: np.ndarray,
     y: np.ndarray,
     test_fraction: float = 0.2,
-    rng=None,
+    rng: RngLike = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Split ``(X, y)`` into train and test subsets.
 

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass
@@ -54,7 +54,7 @@ class DecisionTreeRegressor:
         min_samples_split: int = 4,
         min_samples_leaf: int = 2,
         max_features: "int | float | str | None" = None,
-        rng=None,
+        rng: RngLike = None,
     ):
         if max_depth < 1:
             raise ValueError("max_depth must be >= 1")

@@ -17,7 +17,7 @@ from repro.moo.problem import Problem
 from repro.moo.result import OptimizationResult, SearchSnapshot
 from repro.moo.termination import Budget, StopWatch
 from repro.study.events import EventCallback, StudyEvent
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class PopulationOptimizer:
@@ -44,7 +44,7 @@ class PopulationOptimizer:
         self,
         problem: Problem,
         population_size: int = 50,
-        rng=None,
+        rng: RngLike = None,
         batch_evaluation: bool = True,
     ):
         if population_size < 2:

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.moo.dominance import non_dominated_mask
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def _validate(points: np.ndarray, reference: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -101,7 +101,7 @@ def hypervolume_monte_carlo(
     reference: np.ndarray,
     ideal: np.ndarray | None = None,
     num_samples: int = 20_000,
-    rng=None,
+    rng: RngLike = None,
 ) -> float:
     """Monte-Carlo estimate of the hypervolume (for validation / huge fronts).
 

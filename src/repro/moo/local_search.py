@@ -13,7 +13,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.moo.problem import Problem
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 ScalarFn = Callable[[Any, np.ndarray], float]
 
@@ -77,7 +77,7 @@ def greedy_descent(
     max_steps: int = 25,
     neighbors_per_step: int = 4,
     patience: int = 3,
-    rng=None,
+    rng: RngLike = None,
     evaluate: Callable[[Any], np.ndarray] | None = None,
     evaluate_many: Callable[[list[Any]], np.ndarray] | None = None,
 ) -> LocalSearchResult:

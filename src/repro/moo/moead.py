@@ -17,6 +17,7 @@ from repro.moo.problem import Problem
 from repro.moo.scalarization import tchebycheff
 from repro.moo.termination import Budget
 from repro.moo.weights import neighborhoods, uniform_weights
+from repro.utils.rng import RngLike
 
 
 class MOEAD(PopulationOptimizer):
@@ -32,7 +33,7 @@ class MOEAD(PopulationOptimizer):
         delta: float = 0.9,
         replacement_limit: int = 2,
         mutation_probability: float = 0.3,
-        rng=None,
+        rng: RngLike = None,
     ):
         super().__init__(problem, population_size, rng)
         if neighborhood_size < 2:

@@ -19,6 +19,7 @@ from repro.moo.hypervolume import hypervolume, hypervolume_contribution, referen
 from repro.moo.local_search import score_neighbor_brood
 from repro.moo.problem import Problem
 from repro.moo.termination import Budget
+from repro.utils.rng import RngLike
 
 
 class MOOStage(PopulationOptimizer):
@@ -36,7 +37,7 @@ class MOOStage(PopulationOptimizer):
         early_random_iterations: int = 2,
         max_training_samples: int = 10_000,
         forest_size: int = 20,
-        rng=None,
+        rng: RngLike = None,
         batch_evaluation: bool = True,
     ):
         super().__init__(problem, population_size, rng, batch_evaluation=batch_evaluation)

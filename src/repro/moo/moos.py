@@ -23,6 +23,7 @@ from repro.moo.problem import Problem
 from repro.moo.scalarization import tchebycheff
 from repro.moo.termination import Budget
 from repro.moo.weights import uniform_weights
+from repro.utils.rng import RngLike
 
 
 class MOOS(PopulationOptimizer):
@@ -41,7 +42,7 @@ class MOOS(PopulationOptimizer):
         early_random_iterations: int = 2,
         max_training_samples: int = 10_000,
         forest_size: int = 20,
-        rng=None,
+        rng: RngLike = None,
         batch_evaluation: bool = True,
     ):
         super().__init__(problem, population_size, rng, batch_evaluation=batch_evaluation)

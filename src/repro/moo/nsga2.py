@@ -13,6 +13,7 @@ from repro.moo.base import PopulationOptimizer
 from repro.moo.dominance import crowding_distance, fast_non_dominated_sort
 from repro.moo.problem import Problem
 from repro.moo.termination import Budget
+from repro.utils.rng import RngLike
 
 
 class NSGA2(PopulationOptimizer):
@@ -26,7 +27,7 @@ class NSGA2(PopulationOptimizer):
         population_size: int = 50,
         crossover_probability: float = 0.9,
         mutation_probability: float = 0.3,
-        rng=None,
+        rng: RngLike = None,
         batch_evaluation: bool = True,
     ):
         super().__init__(problem, population_size, rng, batch_evaluation=batch_evaluation)

@@ -13,6 +13,8 @@ from typing import Any, Hashable
 
 import numpy as np
 
+from repro.utils.rng import RngLike
+
 
 class Problem(ABC):
     """A multi-objective minimisation problem over an arbitrary design space."""
@@ -41,19 +43,19 @@ class Problem(ABC):
         return np.array([self.evaluate(design) for design in designs], dtype=np.float64)
 
     @abstractmethod
-    def random_design(self, rng=None) -> Any:
+    def random_design(self, rng: RngLike = None) -> Any:
         """A random feasible design."""
 
     @abstractmethod
-    def neighbor(self, design: Any, rng=None) -> Any:
+    def neighbor(self, design: Any, rng: RngLike = None) -> Any:
         """A random feasible neighbour of ``design`` (local-search move)."""
 
     @abstractmethod
-    def crossover(self, parent_a: Any, parent_b: Any, rng=None) -> Any:
+    def crossover(self, parent_a: Any, parent_b: Any, rng: RngLike = None) -> Any:
         """A feasible offspring recombining two parents."""
 
     @abstractmethod
-    def mutate(self, design: Any, rng=None) -> Any:
+    def mutate(self, design: Any, rng: RngLike = None) -> Any:
         """A feasible mutation of ``design``."""
 
     def design_key(self, design: Any) -> Hashable:

@@ -14,7 +14,7 @@ from itertools import combinations
 
 import numpy as np
 
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def das_dennis_weights(num_objectives: int, divisions: int) -> np.ndarray:
@@ -48,7 +48,7 @@ def _divisions_for(num_objectives: int, minimum_count: int) -> int:
     return divisions
 
 
-def uniform_weights(num_objectives: int, count: int, rng=None) -> np.ndarray:
+def uniform_weights(num_objectives: int, count: int, rng: RngLike = None) -> np.ndarray:
     """Exactly ``count`` evenly spread weight vectors on the unit simplex.
 
     The smallest Das-Dennis lattice with at least ``count`` vectors is built

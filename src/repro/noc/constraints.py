@@ -30,7 +30,7 @@ from repro.noc.links import (
     link_kind,
 )
 from repro.noc.platform import PEType, PlatformConfig
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -176,7 +176,7 @@ class ConstraintChecker:
 # ---------------------------------------------------------------------- #
 # Feasible design generation
 # ---------------------------------------------------------------------- #
-def random_placement(config: PlatformConfig, rng=None) -> tuple[int, ...]:
+def random_placement(config: PlatformConfig, rng: RngLike = None) -> tuple[int, ...]:
     """Generate a random PE placement with LLCs restricted to edge tiles."""
     rng = ensure_rng(rng)
     grid = config.grid
@@ -196,7 +196,7 @@ def random_placement(config: PlatformConfig, rng=None) -> tuple[int, ...]:
     return tuple(int(p) for p in placement)
 
 
-def random_link_placement(config: PlatformConfig, rng=None) -> tuple[Link, ...]:
+def random_link_placement(config: PlatformConfig, rng: RngLike = None) -> tuple[Link, ...]:
     """Generate a random feasible link placement.
 
     The generator first grows a random spanning tree over all tiles (which
@@ -220,8 +220,9 @@ def random_link_placement(config: PlatformConfig, rng=None) -> tuple[Link, ...]:
         by_endpoint[link.a].append(link)
         by_endpoint[link.b].append(link)
 
-    in_tree = {int(rng.integers(config.num_tiles))}
-    frontier: list[Link] = list(by_endpoint[next(iter(in_tree))])
+    root = int(rng.integers(config.num_tiles))
+    in_tree = {root}
+    frontier: list[Link] = list(by_endpoint[root])
     while len(in_tree) < config.num_tiles:
         if not frontier:
             raise RuntimeError("candidate link set cannot connect all tiles")
@@ -277,7 +278,7 @@ def random_link_placement(config: PlatformConfig, rng=None) -> tuple[Link, ...]:
     return tuple(sorted(chosen))
 
 
-def random_design(config: PlatformConfig, rng=None) -> NocDesign:
+def random_design(config: PlatformConfig, rng: RngLike = None) -> NocDesign:
     """Generate a random design satisfying every constraint of Section III."""
     rng = ensure_rng(rng)
     design = NocDesign(
@@ -287,14 +288,14 @@ def random_design(config: PlatformConfig, rng=None) -> NocDesign:
     return design
 
 
-def random_designs(config: PlatformConfig, count: int, rng=None) -> list[NocDesign]:
+def random_designs(config: PlatformConfig, count: int, rng: RngLike = None) -> list[NocDesign]:
     """Generate ``count`` independent random feasible designs."""
     rng = ensure_rng(rng)
     return [random_design(config, rng) for _ in range(count)]
 
 
 def repair_links(
-    design: NocDesign, config: PlatformConfig, rng=None
+    design: NocDesign, config: PlatformConfig, rng: RngLike = None
 ) -> NocDesign:
     """Repair a design whose link placement violates budgets/degree/connectivity.
 
@@ -307,7 +308,7 @@ def repair_links(
     grid = config.grid
     checker = ConstraintChecker(config)
 
-    kept: list[Link] = [link for link in set(design.links) if is_feasible_link(link, config)]
+    kept: list[Link] = [link for link in sorted(set(design.links)) if is_feasible_link(link, config)]
     planar = [link for link in kept if link_kind(link, grid) is LinkKind.PLANAR]
     vertical = [link for link in kept if link_kind(link, grid) is LinkKind.VERTICAL]
 
@@ -383,7 +384,7 @@ def _fill_budgets(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
             degrees[link.a] += 1
             degrees[link.b] += 1
             added += 1
-    return NocDesign(placement=design.placement, links=tuple(links))
+    return NocDesign(placement=design.placement, links=tuple(sorted(links)))
 
 
 def _restore_connectivity(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
@@ -413,7 +414,7 @@ def _restore_connectivity(design: NocDesign, config: PlatformConfig, rng) -> Noc
         links = set(current.links)
         links.discard(victim)
         links.add(bridge)
-        current = NocDesign(placement=current.placement, links=tuple(links))
+        current = NocDesign(placement=current.placement, links=tuple(sorted(links)))
     return current
 
 

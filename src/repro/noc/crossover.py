@@ -22,11 +22,11 @@ from repro.noc.constraints import repair_links
 from repro.noc.design import MoveDelta, NocDesign, annotate_move
 from repro.noc.links import LinkKind, link_kind
 from repro.noc.platform import PEType, PlatformConfig
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def crossover_placement(
-    parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng=None
+    parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng: RngLike = None
 ) -> tuple[int, ...]:
     """Recombine two parent placements into a feasible child placement."""
     rng = ensure_rng(rng)
@@ -82,7 +82,7 @@ def crossover_placement(
 
 
 def crossover_links(
-    parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng=None
+    parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng: RngLike = None
 ) -> tuple:
     """Recombine two parents' link placements (may require repair afterwards)."""
     rng = ensure_rng(rng)
@@ -115,11 +115,11 @@ def crossover_links(
         try_add(link)
     for link in exclusive:
         try_add(link)
-    return tuple(chosen)
+    return tuple(sorted(chosen))
 
 
 def crossover(
-    parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng=None
+    parent_a: NocDesign, parent_b: NocDesign, config: PlatformConfig, rng: RngLike = None
 ) -> NocDesign:
     """Full crossover: recombine placements and links, then repair to feasibility.
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from repro.noc.design import NocDesign
 from repro.noc.links import Link
 from repro.noc.platform import PlatformConfig
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def mesh_links(config: PlatformConfig) -> tuple[Link, ...]:
@@ -27,22 +27,22 @@ def mesh_links(config: PlatformConfig) -> tuple[Link, ...]:
             links.add(Link.make(tile_id, neighbor))
         for neighbor in grid.vertical_neighbors(tile_id):
             links.add(Link.make(tile_id, neighbor))
-    planar = [l for l in links if grid.coord(l.a).same_layer(grid.coord(l.b))]
-    vertical = [l for l in links if not grid.coord(l.a).same_layer(grid.coord(l.b))]
-    if len(planar) > config.num_planar_links:
+    num_planar = sum(1 for l in links if grid.coord(l.a).same_layer(grid.coord(l.b)))
+    num_vertical = len(links) - num_planar
+    if num_planar > config.num_planar_links:
         raise ValueError(
             f"platform planar budget {config.num_planar_links} is smaller than the "
-            f"mesh requirement {len(planar)}"
+            f"mesh requirement {num_planar}"
         )
-    if len(vertical) > config.num_vertical_links:
+    if num_vertical > config.num_vertical_links:
         raise ValueError(
             f"platform vertical budget {config.num_vertical_links} is smaller than the "
-            f"mesh requirement {len(vertical)}"
+            f"mesh requirement {num_vertical}"
         )
     return tuple(sorted(links))
 
 
-def mesh_placement(config: PlatformConfig, rng=None) -> tuple[int, ...]:
+def mesh_placement(config: PlatformConfig, rng: RngLike = None) -> tuple[int, ...]:
     """A deterministic (or lightly randomised) placement for the mesh design.
 
     LLCs are assigned to edge tiles spread across layers; CPUs are grouped on
@@ -67,14 +67,14 @@ def mesh_placement(config: PlatformConfig, rng=None) -> tuple[int, ...]:
     return tuple(placement)
 
 
-def mesh_design(config: PlatformConfig, rng=None) -> NocDesign:
+def mesh_design(config: PlatformConfig, rng: RngLike = None) -> NocDesign:
     """Full-mesh design with a deterministic type-aware placement.
 
     When the link budget exceeds the mesh requirement the remaining planar
     budget is filled with short express links chosen deterministically.
     """
     links = set(mesh_links(config))
-    design = NocDesign(placement=mesh_placement(config, rng), links=tuple(links))
+    design = NocDesign(placement=mesh_placement(config, rng), links=tuple(sorted(links)))
     grid = config.grid
     planar_now = sum(1 for l in links if grid.coord(l.a).same_layer(grid.coord(l.b)))
     missing = config.num_planar_links - planar_now
@@ -93,5 +93,5 @@ def mesh_design(config: PlatformConfig, rng=None) -> NocDesign:
             degrees[link.a] += 1
             degrees[link.b] += 1
             missing -= 1
-        design = NocDesign(placement=design.placement, links=tuple(links))
+        design = NocDesign(placement=design.placement, links=tuple(sorted(links)))
     return design

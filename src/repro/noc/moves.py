@@ -47,7 +47,7 @@ from repro.noc.links import (
     link_kind,
 )
 from repro.noc.platform import PEType, PlatformConfig
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 class MoveGenerator:
@@ -95,7 +95,7 @@ class MoveGenerator:
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
-    def random_neighbor(self, design: NocDesign, rng=None) -> NocDesign:
+    def random_neighbor(self, design: NocDesign, rng: RngLike = None) -> NocDesign:
         """Return one random feasible neighbour of ``design``.
 
         The move kind is chosen uniformly among the applicable kinds (with
@@ -118,12 +118,12 @@ class MoveGenerator:
                 return candidate
         return design
 
-    def neighbors(self, design: NocDesign, count: int, rng=None) -> list[NocDesign]:
+    def neighbors(self, design: NocDesign, count: int, rng: RngLike = None) -> list[NocDesign]:
         """Return ``count`` random feasible neighbours (possibly with repeats)."""
         rng = ensure_rng(rng)
         return [self.random_neighbor(design, rng) for _ in range(count)]
 
-    def iter_neighbors(self, design: NocDesign, rng=None) -> Iterator[NocDesign]:
+    def iter_neighbors(self, design: NocDesign, rng: RngLike = None) -> Iterator[NocDesign]:
         """Yield an endless stream of random feasible neighbours."""
         rng = ensure_rng(rng)
         while True:
@@ -132,7 +132,7 @@ class MoveGenerator:
     # ------------------------------------------------------------------ #
     # Individual moves
     # ------------------------------------------------------------------ #
-    def swap_pe(self, design: NocDesign, rng=None) -> NocDesign | None:
+    def swap_pe(self, design: NocDesign, rng: RngLike = None) -> NocDesign | None:
         """Swap the PEs hosted by two tiles, keeping LLCs on edge tiles."""
         rng = ensure_rng(rng)
         config = self.config
@@ -160,7 +160,7 @@ class MoveGenerator:
             )
         return None
 
-    def swap_llc(self, design: NocDesign, rng=None) -> NocDesign | None:
+    def swap_llc(self, design: NocDesign, rng: RngLike = None) -> NocDesign | None:
         """Swap one LLC with a non-LLC PE hosted on another edge tile."""
         rng = ensure_rng(rng)
         config = self.config
@@ -181,7 +181,7 @@ class MoveGenerator:
             MoveDelta(kind="swap_llc", tiles_swapped=(t1, t2), parent_links=design.links),
         )
 
-    def rewire_link(self, design: NocDesign, rng=None) -> NocDesign | None:
+    def rewire_link(self, design: NocDesign, rng: RngLike = None) -> NocDesign | None:
         """Replace one link with a different feasible link of the same kind."""
         rng = ensure_rng(rng)
         config = self.config
@@ -192,7 +192,7 @@ class MoveGenerator:
             victim = design.links[int(idx)]
             kind = link_kind(victim, self.grid)
             pool = self._planar_pool if kind is LinkKind.PLANAR else self._vertical_pool
-            if len(pool) <= len([l for l in links if link_kind(l, self.grid) is kind]):
+            if len(pool) <= sum(1 for l in links if link_kind(l, self.grid) is kind):
                 continue
             for _ in range(16):
                 replacement = pool[int(rng.integers(len(pool)))]
@@ -211,7 +211,7 @@ class MoveGenerator:
                 new_links = set(links)
                 new_links.discard(victim)
                 new_links.add(replacement)
-                candidate = NocDesign(placement=design.placement, links=tuple(new_links))
+                candidate = NocDesign(placement=design.placement, links=tuple(sorted(new_links)))
                 if is_connected(candidate):
                     return annotate_move(
                         candidate,
@@ -224,14 +224,14 @@ class MoveGenerator:
                     )
         return None
 
-    def add_remove_link_pair(self, design: NocDesign, rng=None) -> NocDesign | None:
+    def add_remove_link_pair(self, design: NocDesign, rng: RngLike = None) -> NocDesign | None:
         """Alias of :meth:`rewire_link` kept for API compatibility with MOOS-style moves."""
         return self.rewire_link(design, rng)
 
     # ------------------------------------------------------------------ #
     # Traffic-aware moves (require a workload)
     # ------------------------------------------------------------------ #
-    def pull_communicating_pair(self, design: NocDesign, rng=None) -> NocDesign | None:
+    def pull_communicating_pair(self, design: NocDesign, rng: RngLike = None) -> NocDesign | None:
         """Move one endpoint of a heavily communicating PE pair next to the other.
 
         A PE pair is sampled with probability proportional to its traffic; the
@@ -283,7 +283,7 @@ class MoveGenerator:
                 return None
         return None
 
-    def rewire_link_toward_traffic(self, design: NocDesign, rng=None) -> NocDesign | None:
+    def rewire_link_toward_traffic(self, design: NocDesign, rng: RngLike = None) -> NocDesign | None:
         """Replace a link with a direct link between a heavily communicating pair's tiles."""
         rng = ensure_rng(rng)
         config = self.config
@@ -314,7 +314,7 @@ class MoveGenerator:
                 new_links = set(links)
                 new_links.discard(victim)
                 new_links.add(new_link)
-                candidate = NocDesign(placement=design.placement, links=tuple(new_links))
+                candidate = NocDesign(placement=design.placement, links=tuple(sorted(new_links)))
                 if is_connected(candidate):
                     return annotate_move(
                         candidate,
@@ -331,7 +331,7 @@ class MoveGenerator:
 def mutate(
     design: NocDesign,
     config: PlatformConfig,
-    rng=None,
+    rng: RngLike = None,
     strength: int = 1,
     generator: "MoveGenerator | None" = None,
 ) -> NocDesign:

@@ -16,8 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.noc.design import NocDesign
 from repro.noc.routing import RoutingTables
 from repro.objectives.energy import communication_energy

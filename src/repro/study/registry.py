@@ -139,7 +139,7 @@ class OptimizerRegistry:
         for key in stale:
             del self._index[key]
         self._specs[spec.name] = spec
-        for key in keys:
+        for key in sorted(keys):
             self._index[key] = spec.name
         return spec
 

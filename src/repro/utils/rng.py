@@ -3,16 +3,41 @@
 Every stochastic component in the library accepts either ``None``, an integer
 seed, or an existing :class:`numpy.random.Generator`.  These helpers normalise
 that input so that experiments are reproducible end to end.
+
+Nondeterminism is opt-in at the API edge: passing ``None`` without
+``allow_unseeded=True`` emits an :class:`UnseededRngWarning`, because a
+silently unseeded run cannot be reproduced, compared against a campaign
+shard, or debugged after the fact.  This module is the one sanctioned home of
+the unseeded escape hatch — ``repro lint`` (rule REP001) flags it everywhere
+else, and the committed lint baseline grandfathers exactly the one call
+below.
 """
 
 from __future__ import annotations
 
+import warnings
+from typing import TypeAlias
+
 import numpy as np
 
-RngLike = "int | np.random.Generator | None"
+#: Anything :func:`ensure_rng` accepts: a seed, an existing generator, or
+#: ``None`` (which warns — see :class:`UnseededRngWarning`).  A real runtime
+#: ``TypeAlias`` (PEP 604 union), not a string lookalike, so signatures can
+#: reference it and type checkers resolve it.
+RngLike: TypeAlias = int | np.random.Generator | None
 
 
-def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Generator:
+class UnseededRngWarning(UserWarning):
+    """Emitted when ``ensure_rng(None)`` silently creates an unseeded generator.
+
+    Seeded runs are the library's core contract (bit-identical scalar/batch
+    and cache-on/off results); an unseeded generator makes a run impossible
+    to reproduce.  Pass an explicit seed or generator, or acknowledge the
+    nondeterminism with ``allow_unseeded=True``.
+    """
+
+
+def ensure_rng(rng: RngLike = None, *, allow_unseeded: bool = False) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for any accepted RNG input.
 
     Parameters
@@ -20,8 +45,20 @@ def ensure_rng(rng: "int | np.random.Generator | None" = None) -> np.random.Gene
     rng:
         ``None`` (fresh non-deterministic generator), an integer seed, or an
         existing generator (returned unchanged).
+    allow_unseeded:
+        Acknowledge that ``rng=None`` means an irreproducible run and skip
+        the :class:`UnseededRngWarning`.  Library code paths that produce
+        results should never need this; it exists for exploratory sessions.
     """
     if rng is None:
+        if not allow_unseeded:
+            warnings.warn(
+                "ensure_rng(None) creates an unseeded generator: this run "
+                "cannot be reproduced. Pass an int seed or a "
+                "numpy.random.Generator, or opt in with allow_unseeded=True.",
+                UnseededRngWarning,
+                stacklevel=2,
+            )
         return np.random.default_rng()
     if isinstance(rng, np.random.Generator):
         return rng

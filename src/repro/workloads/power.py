@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.noc.platform import PEType, PlatformConfig
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass(frozen=True)
@@ -40,7 +40,7 @@ class PowerModel:
         cpu_activity: float = 1.0,
         gpu_activity: float = 1.0,
         llc_activity: float = 1.0,
-        rng=None,
+        rng: RngLike = None,
     ) -> np.ndarray:
         """Generate a per-PE average power vector.
 

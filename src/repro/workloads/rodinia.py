@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.noc.platform import PlatformConfig
 from repro.utils.rng import ensure_rng
 from repro.workloads import traffic_patterns as patterns

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.noc.platform import PlatformConfig
-from repro.utils.rng import ensure_rng
+from repro.utils.rng import RngLike, ensure_rng
 
 
 def empty_traffic(config: PlatformConfig) -> np.ndarray:
@@ -24,7 +24,7 @@ def _zero_diagonal(matrix: np.ndarray) -> np.ndarray:
     return matrix
 
 
-def cpu_llc_requests(config: PlatformConfig, intensity: float, rng=None) -> np.ndarray:
+def cpu_llc_requests(config: PlatformConfig, intensity: float, rng: RngLike = None) -> np.ndarray:
     """Latency-sensitive CPU<->LLC request/response traffic.
 
     Every CPU talks to every LLC with a lognormally distributed rate around
@@ -43,7 +43,7 @@ def cpu_llc_requests(config: PlatformConfig, intensity: float, rng=None) -> np.n
     return _zero_diagonal(traffic)
 
 
-def gpu_llc_streaming(config: PlatformConfig, intensity: float, rng=None, skew: float = 0.4) -> np.ndarray:
+def gpu_llc_streaming(config: PlatformConfig, intensity: float, rng: RngLike = None, skew: float = 0.4) -> np.ndarray:
     """Throughput-oriented GPU<->LLC streaming traffic.
 
     Each GPU streams from a skewed subset of LLCs (``skew`` controls how
@@ -64,7 +64,7 @@ def gpu_llc_streaming(config: PlatformConfig, intensity: float, rng=None, skew: 
     return _zero_diagonal(traffic)
 
 
-def gpu_neighbor_sharing(config: PlatformConfig, intensity: float, rng=None, fanout: int = 4) -> np.ndarray:
+def gpu_neighbor_sharing(config: PlatformConfig, intensity: float, rng: RngLike = None, fanout: int = 4) -> np.ndarray:
     """Stencil-style GPU<->GPU sharing: each GPU exchanges data with ``fanout`` peers."""
     rng = ensure_rng(rng)
     traffic = empty_traffic(config)
@@ -82,7 +82,7 @@ def gpu_neighbor_sharing(config: PlatformConfig, intensity: float, rng=None, fan
     return _zero_diagonal(traffic)
 
 
-def hotspot(config: PlatformConfig, intensity: float, rng=None, num_hot: int = 2) -> np.ndarray:
+def hotspot(config: PlatformConfig, intensity: float, rng: RngLike = None, num_hot: int = 2) -> np.ndarray:
     """Hotspot traffic: every PE sends a share of traffic to a few hot LLCs."""
     rng = ensure_rng(rng)
     traffic = empty_traffic(config)
@@ -98,7 +98,7 @@ def hotspot(config: PlatformConfig, intensity: float, rng=None, num_hot: int = 2
     return _zero_diagonal(traffic)
 
 
-def cpu_gpu_coordination(config: PlatformConfig, intensity: float, rng=None) -> np.ndarray:
+def cpu_gpu_coordination(config: PlatformConfig, intensity: float, rng: RngLike = None) -> np.ndarray:
     """Kernel-launch / synchronisation traffic between CPUs and GPUs."""
     rng = ensure_rng(rng)
     traffic = empty_traffic(config)
@@ -112,7 +112,7 @@ def cpu_gpu_coordination(config: PlatformConfig, intensity: float, rng=None) -> 
     return _zero_diagonal(traffic)
 
 
-def uniform_random(config: PlatformConfig, intensity: float, rng=None, density: float = 0.2) -> np.ndarray:
+def uniform_random(config: PlatformConfig, intensity: float, rng: RngLike = None, density: float = 0.2) -> np.ndarray:
     """Sparse uniform-random background traffic between all PEs."""
     rng = ensure_rng(rng)
     num = config.num_tiles

@@ -1,0 +1,44 @@
+"""REP001 fixture: unseeded RNG positives and clean negatives."""
+
+import random
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+
+def bad_default_rng():
+    return np.random.default_rng()  # POSITIVE line 11
+
+
+def bad_global_random():
+    return random.random()  # POSITIVE line 15
+
+
+def bad_global_shuffle(items):
+    random.shuffle(items)  # POSITIVE line 19
+
+
+def bad_implicit_ensure():
+    return ensure_rng()  # POSITIVE line 23
+
+
+def bad_explicit_none():
+    return ensure_rng(None)  # POSITIVE line 27
+
+
+def good_seeded():
+    return np.random.default_rng(1234)
+
+
+def good_threaded(rng):
+    return ensure_rng(rng)
+
+
+def good_opt_in():
+    return ensure_rng(None, allow_unseeded=True)
+
+
+def good_random_instance():
+    local = random.Random(0)
+    return local.random()

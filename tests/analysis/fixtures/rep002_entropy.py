@@ -1,0 +1,34 @@
+"""REP002 fixture: wall-clock/uuid/entropy positives and clean negatives."""
+
+import os
+import time
+import uuid
+from datetime import datetime
+
+
+def bad_wall_clock_key(design):
+    return (design, time.time())  # POSITIVE line 10
+
+
+def bad_timestamp_ns():
+    return time.time_ns()  # POSITIVE line 14
+
+
+def bad_uuid():
+    return uuid.uuid4().hex  # POSITIVE line 18
+
+
+def bad_now():
+    return datetime.now().isoformat()  # POSITIVE line 22
+
+
+def bad_urandom():
+    return os.urandom(8)  # POSITIVE line 26
+
+
+def good_design_key(design):
+    return (design.key(), "scalar")
+
+
+def good_monotonic_for_logging():
+    return time.monotonic()

@@ -1,0 +1,35 @@
+"""REP003 fixture: set-iteration positives and clean negatives."""
+
+
+def bad_listcomp_over_set(links):
+    pending = set(links)
+    return [link for link in pending]  # POSITIVE line 6
+
+
+def bad_for_loop(design):
+    out = []
+    for link in design.link_set():  # POSITIVE line 11
+        out.append(link)
+    return out
+
+
+def bad_list_call():
+    return list({3, 1, 2})  # POSITIVE line 17
+
+
+def bad_joined(names):
+    return ", ".join(name for name in set(names))  # POSITIVE line 21
+
+
+def good_sorted(links):
+    pending = set(links)
+    return sorted(pending)
+
+
+def good_order_free(links):
+    pending = set(links)
+    return sum(1 for link in links if link in pending)
+
+
+def good_set_algebra(a, b):
+    return set(a) | set(b)

@@ -1,0 +1,44 @@
+"""REP004 fixture: frozen-product mutation positives and clean negatives."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class FrozenProduct:
+    value: int
+
+    def __post_init__(self):
+        object.__setattr__(self, "value", int(self.value))  # negative: own init
+
+
+def bad_attribute_assignment(product: FrozenProduct):
+    product.value = 3  # POSITIVE line 15
+
+
+def bad_setattr_outside_init(product):
+    object.__setattr__(product, "value", 4)  # POSITIVE line 19
+
+
+def bad_annotated_local():
+    product: FrozenProduct = FrozenProduct(1)
+    product.value = 9  # POSITIVE line 24
+
+
+@dataclass
+class BadMutableKey:  # POSITIVE (non-frozen dataclass with key())
+    items: tuple
+
+    def key(self):
+        return self.items
+
+
+def good_replace(product: FrozenProduct):
+    return replace(product, value=product.value + 1)
+
+
+@dataclass(frozen=True)
+class GoodFrozenKey:
+    items: tuple
+
+    def key(self):
+        return self.items

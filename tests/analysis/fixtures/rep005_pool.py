@@ -1,0 +1,39 @@
+"""REP005 fixture: pool-boundary positives and clean negatives."""
+
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+
+
+def _module_level_worker(value):
+    return value * 2
+
+
+def bad_lambda(values):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(lambda v: v * 2, values))  # POSITIVE line 13
+
+
+def bad_local_function(values):
+    def helper(value):
+        return value + 1
+
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(helper, v) for v in values]  # POSITIVE line 21
+
+
+def bad_partial_over_local(values):
+    def helper(value, offset):
+        return value + offset
+
+    executor = ProcessPoolExecutor()
+    return [executor.submit(partial(helper, offset=2), v) for v in values]  # POSITIVE line 29
+
+
+def good_module_level(values):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(_module_level_worker, values))
+
+
+def good_partial_over_module_level(values):
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(partial(_module_level_worker), v) for v in values]

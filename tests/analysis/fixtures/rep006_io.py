@@ -1,0 +1,32 @@
+"""REP006 fixture: bare campaign-directory writes and clean negatives."""
+
+import json
+
+from repro.utils.serialization import write_json_atomic
+
+
+def bad_open_write(output_dir):
+    with open(output_dir / "manifest.json", "w") as handle:  # POSITIVE line 9
+        handle.write("{}")
+
+
+def bad_json_dump(payload, handle_to_shard):
+    json.dump(payload, handle_to_shard)  # POSITIVE line 14
+
+
+def bad_write_text(campaign_dir, text):
+    (campaign_dir / "rollup.json").write_text(text)  # POSITIVE line 18
+
+
+def good_atomic(output_dir, payload):
+    write_json_atomic(output_dir / "manifest.json", payload)
+
+
+def good_read(output_dir):
+    with open(output_dir / "manifest.json") as handle:
+        return handle.read()
+
+
+def good_unrelated_write(scratch, text):
+    with open(scratch / "notes.txt", "w") as handle:
+        handle.write(text)

@@ -1,0 +1,19 @@
+"""Suppression fixture: inline allows silencing findings line by line."""
+
+import numpy as np
+
+
+def allowed_by_rule_id():
+    return np.random.default_rng()  # repro: allow[REP001]
+
+
+def allowed_by_wildcard():
+    return np.random.default_rng()  # repro: allow[*]
+
+
+def allowed_by_list():
+    return np.random.default_rng()  # repro: allow[REP002, REP001]
+
+
+def not_allowed_wrong_rule():
+    return np.random.default_rng()  # repro: allow[REP006]

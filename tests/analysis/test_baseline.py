@@ -1,0 +1,96 @@
+"""Baseline semantics: grandfathering, count budgets, staleness, roundtrip."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Baseline, analyze_paths, baseline_from_findings
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _baseline_for(path: Path) -> Baseline:
+    report = analyze_paths([str(path)])
+    return baseline_from_findings(report.findings)
+
+
+class TestGrandfathering:
+    def test_baselined_findings_are_not_active(self):
+        fixture = FIXTURES / "rep002_entropy.py"
+        baseline = _baseline_for(fixture)
+        report = analyze_paths([str(fixture)], baseline=baseline)
+        assert not report.active
+        assert len(report.baselined) == len(baseline.entries)
+        assert not report.stale_baseline_entries
+
+    def test_new_findings_stay_active_alongside_baselined_ones(self, tmp_path):
+        module = tmp_path / "module.py"
+        module.write_text("import uuid\nuuid.uuid4()\n")
+        baseline = _baseline_for(module)
+        module.write_text("import uuid\nuuid.uuid4()\nimport os\nos.urandom(4)\n")
+        report = analyze_paths([str(module)], baseline=baseline)
+        assert len(report.baselined) == 1
+        (active,) = report.active
+        assert "urandom" in active.source_line
+
+    def test_count_budget_covers_each_occurrence_once(self, tmp_path):
+        module = tmp_path / "module.py"
+        module.write_text("import uuid\nuuid.uuid4()\n")
+        baseline = _baseline_for(module)
+        # Same source line twice -> same fingerprint, but only one is budgeted.
+        module.write_text("import uuid\nuuid.uuid4()\nuuid.uuid4()\n")
+        report = analyze_paths([str(module)], baseline=baseline)
+        assert len(report.baselined) == 1
+        assert len(report.active) == 1
+
+    def test_stale_entries_are_reported(self, tmp_path):
+        module = tmp_path / "module.py"
+        module.write_text("import uuid\nuuid.uuid4()\n")
+        baseline = _baseline_for(module)
+        module.write_text("import uuid\n")  # finding fixed; entry now stale
+        report = analyze_paths([str(module)], baseline=baseline)
+        assert not report.findings
+        assert len(report.stale_baseline_entries) == 1
+
+
+class TestPersistence:
+    def test_write_load_roundtrip(self, tmp_path):
+        baseline = _baseline_for(FIXTURES / "rep001_rng.py")
+        target = tmp_path / "baseline.json"
+        baseline.write(target)
+        loaded = Baseline.load(target)
+        assert set(loaded.entries) == set(baseline.entries)
+        assert loaded.path == target
+
+    def test_unknown_format_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"format": "something-else/9", "entries": []}))
+        with pytest.raises(ValueError):
+            Baseline.load(target)
+
+    def test_regeneration_carries_notes_forward(self, tmp_path):
+        module = tmp_path / "module.py"
+        module.write_text("import uuid\nuuid.uuid4()\n")
+        report = analyze_paths([str(module)])
+        first = baseline_from_findings(report.findings)
+        annotated = Baseline(
+            entries=[
+                type(entry)(
+                    rule=entry.rule,
+                    path=entry.path,
+                    fingerprint=entry.fingerprint,
+                    note="deliberate",
+                )
+                for entry in first.entries
+            ]
+        )
+        regenerated = baseline_from_findings(report.findings, previous=annotated)
+        assert [entry.note for entry in regenerated.entries] == ["deliberate"]
+
+    def test_suppressed_findings_never_enter_the_baseline(self):
+        report = analyze_paths([str(FIXTURES / "suppressed.py")])
+        baseline = baseline_from_findings(report.findings)
+        assert len(baseline.entries) == len(report.active)

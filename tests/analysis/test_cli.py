@@ -1,0 +1,97 @@
+"""``repro lint`` CLI contract: exit codes, baseline workflow, artifacts.
+
+Exit-code convention pinned here (and relied on by CI):
+
+* 0 — no active findings,
+* 1 — at least one active finding,
+* 2 — usage error (missing path, unknown rule, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def lint(*argv: str) -> int:
+    return main(["lint", *argv])
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def double(x):\n    return 2 * x\n")
+        assert lint(str(clean), "--no-baseline") == 0
+
+    def test_findings_exit_one(self):
+        assert lint(str(FIXTURES / "rep001_rng.py"), "--no-baseline") == 1
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint(str(tmp_path / "nope"), "--no-baseline") == 2
+
+    def test_unknown_rule_exits_two(self):
+        assert lint(str(FIXTURES), "--select", "REP999") == 2
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path):
+        assert lint(str(FIXTURES), "--baseline", str(tmp_path / "missing.json")) == 2
+
+    def test_corrupt_baseline_exits_two(self, tmp_path):
+        corrupt = tmp_path / "baseline.json"
+        corrupt.write_text("{not json")
+        assert lint(str(FIXTURES / "rep001_rng.py"), "--baseline", str(corrupt)) == 2
+
+
+class TestBaselineWorkflow:
+    def test_write_then_lint_is_clean(self, tmp_path, capsys):
+        target = tmp_path / "baseline.json"
+        fixture = str(FIXTURES / "rep002_entropy.py")
+        assert lint(fixture, "--write-baseline", "--baseline", str(target)) == 0
+        assert target.exists()
+        capsys.readouterr()
+        assert lint(fixture, "--baseline", str(target)) == 0
+        out = capsys.readouterr().out
+        assert "0 finding(s)" in out
+
+    def test_no_baseline_flag_reactivates_findings(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        fixture = str(FIXTURES / "rep002_entropy.py")
+        assert lint(fixture, "--write-baseline", "--baseline", str(target)) == 0
+        assert lint(fixture, "--no-baseline") == 1
+
+
+class TestOutputs:
+    def test_list_rules_prints_catalogue(self, capsys):
+        assert lint("--list-rules") == 0
+        out = capsys.readouterr().out
+        for rule_id in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006"):
+            assert rule_id in out
+        assert "docs/linting.md" in out
+
+    def test_json_format_is_machine_readable(self, capsys):
+        assert lint(str(FIXTURES / "rep005_pool.py"), "--no-baseline", "--format", "json") == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 1
+        assert {finding["rule"] for finding in payload["findings"]} == {"REP005"}
+
+    def test_report_artifact_written(self, tmp_path):
+        report_path = tmp_path / "lint-report.json"
+        assert (
+            lint(str(FIXTURES / "rep006_io.py"), "--no-baseline", "--report", str(report_path))
+            == 1
+        )
+        payload = json.loads(report_path.read_text())
+        assert payload["active"] == 3
+
+
+class TestRepoIsClean:
+    def test_lint_src_is_clean_modulo_committed_baseline(self, monkeypatch):
+        """The repository's own sources pass the gate CI enforces."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint("src", "benchmarks", "examples") == 0

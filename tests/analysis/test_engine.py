@@ -1,0 +1,75 @@
+"""Engine-level behavior: suppressions, syntax errors, ordering, discovery."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_inline_allow_suppresses_by_rule_wildcard_and_list(self):
+        report = analyze_paths([str(FIXTURES / "suppressed.py")])
+        assert len(report.suppressed) == 3
+        assert [finding.line for finding in report.active] == [19]
+
+    def test_allow_for_a_different_rule_does_not_suppress(self):
+        report = analyze_paths([str(FIXTURES / "suppressed.py")])
+        (active,) = report.active
+        assert active.rule_id == "REP001"
+        assert "allow[REP006]" in active.source_line
+
+    def test_suppressed_findings_are_not_active(self):
+        report = analyze_paths([str(FIXTURES / "suppressed.py")])
+        for finding in report.suppressed:
+            assert finding.suppressed
+            assert finding not in report.active
+
+
+class TestSyntaxErrors:
+    def test_unparsable_file_yields_rep000(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n    pass\n")
+        report = analyze_paths([str(broken)])
+        (finding,) = report.findings
+        assert finding.rule_id == "REP000"
+        assert finding.active
+
+
+class TestDiscoveryAndOrdering:
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            analyze_paths([str(FIXTURES / "does_not_exist.py")])
+
+    def test_directory_scan_skips_pycache_and_is_deterministic(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("import time\ntime.time()\n")
+        (tmp_path / "b.py").write_text("import uuid\nuuid.uuid4()\n")
+        (tmp_path / "a.py").write_text("import time\ntime.time()\n")
+        first = analyze_paths([str(tmp_path)])
+        second = analyze_paths([str(tmp_path)])
+        assert first.files_scanned == 2
+        paths = [finding.path for finding in first.findings]
+        assert paths == sorted(paths)
+        assert [f.describe() for f in first.findings] == [
+            f.describe() for f in second.findings
+        ]
+
+    def test_duplicate_inputs_are_scanned_once(self):
+        fixture = FIXTURES / "rep002_entropy.py"
+        report = analyze_paths([str(fixture), str(fixture)])
+        assert report.files_scanned == 1
+
+
+class TestFingerprints:
+    def test_fingerprint_survives_line_moves(self, tmp_path):
+        original = tmp_path / "module.py"
+        original.write_text("import uuid\nuuid.uuid4()\n")
+        before = analyze_paths([str(original)]).findings[0].fingerprint
+        original.write_text("import uuid\n\n\n# shifted down\nuuid.uuid4()\n")
+        after = analyze_paths([str(original)]).findings[0].fingerprint
+        assert before == after

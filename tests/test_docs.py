@@ -36,8 +36,14 @@ class TestDocsTree:
     def test_cli_page_documents_every_subcommand(self):
         content = (DOCS / "cli.md").read_text()
         for command in ("repro run", "repro campaign", "repro tables",
-                        "repro compact", "repro list", "--follow"):
+                        "repro compact", "repro list", "repro lint", "--follow"):
             assert command in content, f"cli.md does not document {command!r}"
+
+    def test_linting_page_covers_rules_and_workflow(self):
+        content = (DOCS / "linting.md").read_text()
+        for topic in ("REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+                      "repro: allow[", "lint-baseline.json", "--write-baseline"):
+            assert topic in content, f"linting.md lost its {topic!r} coverage"
 
     def test_configuration_page_covers_the_declarative_schema(self):
         from repro.study.registry import default_registry

@@ -1,14 +1,29 @@
 """Tests for RNG helpers."""
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.rng import RngLike, UnseededRngWarning, ensure_rng, spawn_rng
 
 
 class TestEnsureRng:
-    def test_none_gives_generator(self):
-        assert isinstance(ensure_rng(None), np.random.Generator)
+    def test_none_gives_generator_and_warns(self):
+        with pytest.warns(UnseededRngWarning):
+            assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_allow_unseeded_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            generator = ensure_rng(None, allow_unseeded=True)
+        assert isinstance(generator, np.random.Generator)
+
+    def test_seeded_inputs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ensure_rng(7)
+            ensure_rng(np.random.default_rng(0))
 
     def test_int_seed_is_deterministic(self):
         a = ensure_rng(5).integers(0, 1000, size=10)
@@ -26,6 +41,13 @@ class TestEnsureRng:
     def test_numpy_integer_seed_accepted(self):
         seed = np.int64(7)
         assert isinstance(ensure_rng(seed), np.random.Generator)
+
+    def test_rnglike_is_a_runtime_union(self):
+        # A real PEP 604 alias, not a string: usable in isinstance checks.
+        assert isinstance(3, RngLike)
+        assert isinstance(np.random.default_rng(0), RngLike)
+        assert isinstance(None, RngLike)
+        assert not isinstance("seed", RngLike)
 
 
 class TestSpawnRng:
