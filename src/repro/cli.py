@@ -1,6 +1,6 @@
 """``python -m repro`` — the command-line front door, built on :class:`Study`.
 
-Six subcommands cover the package's workflows (full reference with session
+Seven subcommands cover the package's workflows (full reference with session
 transcripts in ``docs/cli.md``):
 
 ``run``
@@ -20,6 +20,11 @@ transcripts in ``docs/cli.md``):
 ``compact``
     Roll a campaign's finished shards into the single indexed rollup file
     (:func:`repro.experiments.compaction.compact_campaign`).
+``robustness``
+    Render the fault-scenario sensitivity map and robustness certificate
+    (:mod:`repro.experiments.robustness`) from a finished campaign directory
+    whose grid included a ``scenarios`` axis — purely from the shards, no
+    re-runs.
 ``list``
     Show the registered optimizers; ``--verbose`` adds each optimizer's
     aliases and full hyperparameter schema.
@@ -41,6 +46,12 @@ from typing import Any, Sequence
 
 from repro.analysis.cli import add_lint_parser
 from repro.experiments.compaction import compact_campaign
+from repro.experiments.robustness import (
+    format_certificate,
+    format_sensitivity_map,
+    robustness_certificate,
+    sensitivity_map,
+)
 from repro.experiments.tables import aggregate_campaign, format_table
 from repro.moo.hypervolume import reference_point_from
 from repro.study.events import StudyEvent
@@ -51,7 +62,8 @@ from repro.study.study import PLATFORM_FACTORIES, PRESETS, Study
 DOCS_EPILOG = (
     "Full documentation: docs/cli.md (command reference + transcripts), "
     "docs/configuration.md (study file schema), docs/architecture.md "
-    "(evaluation pipeline), docs/performance.md (measured speedups), "
+    "(evaluation pipeline), docs/scenarios.md (fault-model axes and "
+    "robustness sweeps), docs/performance.md (measured speedups), "
     "docs/linting.md (repro lint rule catalogue and baseline workflow)."
 )
 
@@ -100,6 +112,8 @@ def _study_from_args(args: argparse.Namespace) -> Study:
         study.population_size(args.population)
     if args.seed is not None:
         study.seed(args.seed)
+    if args.scenarios:
+        study.scenarios(*args.scenarios)
     if args.no_routing_cache:
         study.routing_cache(False)
     return study
@@ -117,6 +131,10 @@ def _add_study_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--evaluations", type=int, help="evaluation budget per run/cell")
     parser.add_argument("--population", type=int, help="population / archive size")
     parser.add_argument("--seed", type=int, help="base seed")
+    parser.add_argument("--scenarios", nargs="+", metavar="SCENARIO",
+                        help="fault-scenario grid axis, e.g. identity "
+                        "'link_failure(k=1,mode=remove)' (docs/scenarios.md; "
+                        "non-identity scenarios need campaign mode)")
     parser.add_argument("--no-routing-cache", action="store_true",
                         help="disable the cross-design routing cache (perf escape hatch)")
     parser.add_argument("--no-progress", dest="progress", action="store_false",
@@ -243,6 +261,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     grid = (f"{len(campaign.algorithms)} algorithms x "
             f"{len(experiment.applications)} applications x "
             f"{len(experiment.objective_counts)} scenarios")
+    if experiment.scenario_models != ("identity",):
+        grid += f" x {len(experiment.scenario_models)} fault scenarios"
     print(f"campaign: {grid} on {experiment.platform.name}, "
           f"{campaign.cell_budget} evaluations per cell, "
           f"workers={campaign.max_workers}, "
@@ -271,6 +291,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.tables and len(result.algorithms) >= 2:
         print()
         print(result.format_tables(measure=args.measure))
+    return 0
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    if not args.certificate_only:
+        print(format_sensitivity_map(sensitivity_map(args.output_dir)))
+        print()
+    certificate = robustness_certificate(args.output_dir, quantiles=tuple(args.quantiles))
+    print(format_certificate(certificate))
     return 0
 
 
@@ -352,6 +381,22 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="campaign directory written by `repro campaign`")
     compact_parser.set_defaults(handler=_cmd_compact)
 
+    robustness_parser = subparsers.add_parser(
+        "robustness",
+        help="render the fault-scenario sensitivity map and robustness "
+        "certificate from finished shards (no re-runs)",
+        epilog=DOCS_EPILOG,
+    )
+    robustness_parser.add_argument("--output-dir", required=True,
+                                   help="campaign directory whose grid included a "
+                                   "scenarios axis (docs/scenarios.md)")
+    robustness_parser.add_argument("--quantiles", nargs="+", type=float,
+                                   default=[0.5, 0.9], metavar="Q",
+                                   help="degradation quantiles to report (default: 0.5 0.9)")
+    robustness_parser.add_argument("--certificate-only", action="store_true",
+                                   help="skip the per-objective sensitivity map")
+    robustness_parser.set_defaults(handler=_cmd_robustness)
+
     list_parser = subparsers.add_parser(
         "list",
         help="list the registered optimizers and their hyperparameters",
@@ -377,6 +422,11 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         return args.handler(args)
     except (ValueError, FileNotFoundError) as error:
         print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        # Registry lookups (scenario kinds, applications) raise KeyError with
+        # a human message; args[0] avoids repr()'s extra quoting.
+        print(f"error: {error.args[0] if error.args else error}", file=sys.stderr)
         return 2
     except BrokenPipeError:
         # Output piped into a pager/head that closed early; not an error.

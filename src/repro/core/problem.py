@@ -18,6 +18,8 @@ from repro.noc.design import NocDesign
 from repro.noc.moves import MoveGenerator, mutate
 from repro.noc.platform import PlatformConfig
 from repro.objectives.evaluator import ObjectiveEvaluator, ObjectiveScenario, scenario_for
+from repro.scenarios.models import ScenarioModel
+from repro.scenarios.registry import parse_scenario
 from repro.utils.rng import RngLike, ensure_rng
 from repro.workloads.workload import Workload
 
@@ -45,6 +47,14 @@ class NocDesignProblem(Problem):
         :class:`~repro.noc.routing_engine.RoutingEngine` (cross-design route
         cache with incremental repair).  ``False`` selects the historical
         fresh-build-per-design path; results are bit-identical either way.
+    scenario_model:
+        Optional fault/scenario model (a :class:`~repro.scenarios.ScenarioModel`
+        or its canonical key, e.g. ``"link_failure(k=1,mode=remove)"``)
+        applied by the evaluator before scoring.  Moves, crossover and
+        features stay on the nominal workload: the search explores the
+        nominal design space while evaluation answers for the degraded one.
+    scenario_seed:
+        Seed for the scenario model's deterministic streams.
     """
 
     def __init__(
@@ -55,14 +65,26 @@ class NocDesignProblem(Problem):
         mutation_strength: int = 1,
         parallel_evaluation: bool = False,
         routing_cache: bool = True,
+        scenario_model: "ScenarioModel | str | None" = None,
+        scenario_seed: int = 0,
     ):
         if isinstance(scenario, int):
             scenario = scenario_for(scenario)
+        if scenario_model is not None:
+            scenario_model = parse_scenario(scenario_model)
+            if scenario_model.is_identity:
+                scenario_model = None
         self.workload = workload
         self.config: PlatformConfig = workload.config
         self.scenario = scenario
+        self.scenario_model = scenario_model
         self.evaluator = ObjectiveEvaluator(
-            workload, scenario, cache_size=cache_size, routing_cache=routing_cache
+            workload,
+            scenario,
+            cache_size=cache_size,
+            routing_cache=routing_cache,
+            scenario_model=scenario_model,
+            scenario_seed=scenario_seed,
         )
         self.moves = MoveGenerator(self.config, workload)
         self.checker = ConstraintChecker(self.config)
@@ -75,8 +97,16 @@ class NocDesignProblem(Problem):
     # ------------------------------------------------------------------ #
     @property
     def name(self) -> str:
-        """Readable identifier, e.g. ``"BFS/5-obj/paper-4x4x4"``."""
-        return f"{self.workload.name}/{self.scenario.name}/{self.config.name}"
+        """Readable identifier, e.g. ``"BFS/5-obj/paper-4x4x4"``.
+
+        A non-identity scenario model appends its canonical key, e.g.
+        ``"BFS/5-obj/paper-4x4x4/link_failure(k=1,mode=remove)"``; the
+        identity case is byte-identical to the historical name.
+        """
+        base = f"{self.workload.name}/{self.scenario.name}/{self.config.name}"
+        if self.scenario_model is not None:
+            return f"{base}/{self.scenario_model.key}"
+        return base
 
     @property
     def num_objectives(self) -> int:

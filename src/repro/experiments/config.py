@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import MOELAConfig
 from repro.noc.platform import PlatformConfig
+from repro.scenarios.registry import canonical_scenario_key
 from repro.workloads.rodinia import RODINIA_APPLICATIONS
 
 
@@ -36,6 +37,12 @@ class ExperimentConfig:
         MOELA hyper-parameters.
     searches_per_iteration, local_search_steps, neighbors_per_step:
         Budgets for the MOOS baseline's local searches.
+    scenario_models:
+        Fault/scenario models evaluated as a grid axis (canonical keys, see
+        :mod:`repro.scenarios`); the default single ``"identity"`` axis is
+        the nominal, pre-scenario behaviour.  Keys are validated and
+        canonicalised at construction, so a typo fails here rather than
+        mid-campaign.
     seed:
         Base seed; per-(algorithm, app, scenario) seeds are derived from it.
     """
@@ -49,6 +56,7 @@ class ExperimentConfig:
     searches_per_iteration: int = 3
     local_search_steps: int = 6
     neighbors_per_step: int = 3
+    scenario_models: tuple[str, ...] = ("identity",)
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -63,6 +71,12 @@ class ExperimentConfig:
             raise ValueError("population_size must be >= 4")
         if self.max_evaluations < 10:
             raise ValueError("max_evaluations must be >= 10")
+        if not self.scenario_models:
+            raise ValueError("at least one scenario model is required (use 'identity')")
+        canonical = tuple(canonical_scenario_key(s) for s in self.scenario_models)
+        if len(set(canonical)) != len(canonical):
+            raise ValueError(f"duplicate scenario models in {self.scenario_models}")
+        object.__setattr__(self, "scenario_models", canonical)
 
     @classmethod
     def smoke(cls) -> "ExperimentConfig":

@@ -1,0 +1,404 @@
+"""Robustness analytics over a fault-scenario campaign grid.
+
+Answers the question the nominal tables cannot: *how much does a search's
+Pareto front degrade when the platform does?*  Both analyses here are pure
+readers in the :func:`repro.experiments.tables.aggregate_campaign` mold —
+they fold the finished shards (loose or compacted) of a campaign that ran a
+``scenario_models`` axis, and never re-run a cell.
+
+Two artefacts are produced:
+
+* a **sensitivity map** (:func:`sensitivity_map`) — for every
+  ``(algorithm, application, objective-count)`` group, the relative change of
+  each objective's best achieved value under every fault scenario versus the
+  identity baseline, plus finite-difference derivatives along single-parameter
+  scenario sweeps (e.g. ``link_failure(k=1..3)`` yields ``d objective / d k``);
+* a **robustness certificate** (:func:`robustness_certificate`) — the
+  worst-case and quantile degradation of each algorithm's Pareto-front
+  hypervolume over the whole fault grid, measured against a reference point
+  shared by the identity and faulted fronts of each group.
+
+Both require the campaign to include the ``identity`` scenario — degradation
+is meaningless without the nominal baseline — and raise a descriptive
+``ValueError`` otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.experiments.runner import load_campaign_results
+from repro.moo.hypervolume import reference_point_from
+from repro.moo.result import OptimizationResult
+from repro.objectives.evaluator import scenario_for
+from repro.scenarios.registry import parse_scenario
+
+#: Group key: (algorithm, application, num_objectives).
+GroupKey = tuple[str, str, int]
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """Relative change of one objective under one scenario vs identity."""
+
+    algorithm: str
+    application: str
+    num_objectives: int
+    scenario: str
+    objective: str
+    baseline: float
+    value: float
+
+    @property
+    def relative_delta(self) -> float:
+        """``(value - baseline) / |baseline|`` (positive = objective got worse)."""
+        if self.baseline == 0.0:
+            return float("inf") if self.value > 0 else 0.0
+        return (self.value - self.baseline) / abs(self.baseline)
+
+
+@dataclass(frozen=True)
+class SweepDerivative:
+    """Finite-difference sensitivity along a single-parameter scenario sweep."""
+
+    algorithm: str
+    application: str
+    num_objectives: int
+    kind: str
+    parameter: str
+    objective: str
+    #: Sorted ``(parameter value, best objective value)`` sweep points.
+    points: tuple[tuple[float, float], ...]
+
+    @property
+    def finite_differences(self) -> tuple[float, ...]:
+        """``d objective / d parameter`` between consecutive sweep points."""
+        deltas = []
+        for (p0, v0), (p1, v1) in zip(self.points, self.points[1:]):
+            step = p1 - p0
+            deltas.append((v1 - v0) / step if step else float("nan"))
+        return tuple(deltas)
+
+
+@dataclass
+class SensitivityMap:
+    """Per-objective scenario sensitivities of one campaign directory."""
+
+    output_dir: Path
+    scenarios: tuple[str, ...]
+    entries: list[SensitivityEntry] = field(default_factory=list)
+    sweeps: list[SweepDerivative] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """PHV degradation of one (group, scenario) pair versus identity."""
+
+    algorithm: str
+    application: str
+    num_objectives: int
+    scenario: str
+    phv_identity: float
+    phv_scenario: float
+
+    @property
+    def degradation(self) -> float:
+        """Fractional PHV loss under the scenario (positive = worse front)."""
+        if self.phv_identity <= 0.0:
+            return float("nan")
+        return (self.phv_identity - self.phv_scenario) / self.phv_identity
+
+
+@dataclass
+class RobustnessCertificate:
+    """Worst-case / quantile PHV degradation of a campaign's fault grid."""
+
+    output_dir: Path
+    scenarios: tuple[str, ...]
+    quantiles: tuple[float, ...]
+    records: list[DegradationRecord] = field(default_factory=list)
+
+    def per_algorithm(self) -> dict[str, dict[str, float]]:
+        """``{algorithm: {worst_case, mean, q<P>..., cells}}`` over the grid."""
+        grouped: dict[str, list[float]] = {}
+        for record in self.records:
+            value = record.degradation
+            if np.isnan(value):
+                continue
+            grouped.setdefault(record.algorithm, []).append(value)
+        summary: dict[str, dict[str, float]] = {}
+        for algorithm in sorted(grouped):
+            values = np.asarray(grouped[algorithm], dtype=np.float64)
+            stats = {
+                "worst_case": float(values.max()),
+                "mean": float(values.mean()),
+                "cells": float(len(values)),
+            }
+            for q in self.quantiles:
+                stats[f"q{int(round(100 * q))}"] = float(np.quantile(values, q))
+            summary[algorithm] = stats
+        return summary
+
+    def worst_case(self) -> "DegradationRecord | None":
+        """The single worst (group, scenario) degradation, or None if empty."""
+        valid = [r for r in self.records if not np.isnan(r.degradation)]
+        if not valid:
+            return None
+        return max(valid, key=lambda r: r.degradation)
+
+
+# ---------------------------------------------------------------------- #
+# Shard collection
+# ---------------------------------------------------------------------- #
+def _collect(output_dir: "str | Path") -> dict[GroupKey, dict[str, OptimizationResult]]:
+    """Completed results grouped ``(algorithm, app, m) -> {scenario: result}``."""
+    groups: dict[GroupKey, dict[str, OptimizationResult]] = {}
+    for cell, result in load_campaign_results(output_dir):
+        key = (cell.algorithm, cell.application, cell.num_objectives)
+        groups.setdefault(key, {})[cell.scenario] = result
+    return groups
+
+
+def _require_identity(
+    groups: dict[GroupKey, dict[str, OptimizationResult]], output_dir: Path
+) -> None:
+    if not groups:
+        raise ValueError(f"no completed shards found under {output_dir}")
+    if not any("identity" in by_scenario for by_scenario in groups.values()):
+        raise ValueError(
+            f"campaign under {output_dir} has no completed 'identity' cells; "
+            "robustness analyses need the nominal baseline — add 'identity' to "
+            "the experiment's scenario_models"
+        )
+
+
+def _best_values(result: OptimizationResult) -> "np.ndarray | None":
+    """Per-objective best (minimum) over the final front, or None when empty."""
+    if result.objectives.size == 0:
+        return None
+    return np.asarray(result.objectives, dtype=np.float64).min(axis=0)
+
+
+def _group_fronts(by_scenario: dict[str, OptimizationResult]) -> list[np.ndarray]:
+    fronts = [r.objectives for r in by_scenario.values() if r.objectives.size]
+    return fronts
+
+
+# ---------------------------------------------------------------------- #
+# Sensitivity map
+# ---------------------------------------------------------------------- #
+def _numeric_sweeps(scenarios: list[str]) -> dict[tuple[str, str], list[tuple[float, str]]]:
+    """Detect single-parameter sweeps among the non-identity scenario keys.
+
+    Returns ``{(kind, parameter): [(value, scenario_key), ...]}`` for every
+    model kind whose instances differ in exactly one numeric field (all other
+    fields equal), sorted by the varying value.
+    """
+    models = [(key, parse_scenario(key)) for key in scenarios if key != "identity"]
+    by_kind: dict[str, list[tuple[str, Any]]] = {}
+    for key, model in models:
+        by_kind.setdefault(model.kind, []).append((key, model))
+    sweeps: dict[tuple[str, str], list[tuple[float, str]]] = {}
+    for kind, group in by_kind.items():
+        if len(group) < 2:
+            continue
+        field_names = [f.name for f in dataclass_fields(group[0][1])]
+        varying = [
+            name
+            for name in field_names
+            if len({getattr(model, name) for _, model in group}) > 1
+        ]
+        if len(varying) != 1:
+            continue
+        parameter = varying[0]
+        values = [getattr(model, parameter) for _, model in group]
+        if not all(isinstance(v, (int, float)) for v in values):
+            continue
+        points = sorted((float(getattr(model, parameter)), key) for key, model in group)
+        sweeps[(kind, parameter)] = points
+    return sweeps
+
+
+def sensitivity_map(output_dir: "str | Path") -> SensitivityMap:
+    """Per-parameter / per-scenario objective sensitivities from finished shards.
+
+    For every ``(algorithm, application, objective-count)`` group that
+    completed both its identity cell and at least one faulted cell, records
+    the relative change of each objective's best achieved value, and — when
+    the scenario grid contains a single-parameter sweep of one model kind —
+    the finite-difference derivative of each objective along that sweep.
+    """
+    output_dir = Path(output_dir)
+    groups = _collect(output_dir)
+    _require_identity(groups, output_dir)
+    scenarios = tuple(
+        sorted({scenario for by_scenario in groups.values() for scenario in by_scenario})
+    )
+    result = SensitivityMap(output_dir=output_dir, scenarios=scenarios)
+    for (algorithm, application, m), by_scenario in sorted(groups.items()):
+        baseline_result = by_scenario.get("identity")
+        if baseline_result is None:
+            continue
+        baseline = _best_values(baseline_result)
+        if baseline is None:
+            continue
+        names = scenario_for(m).objectives
+        sweep_values: dict[tuple[str, str], dict[str, dict[str, float]]] = {}
+        for scenario, scenario_result in sorted(by_scenario.items()):
+            if scenario == "identity":
+                continue
+            best = _best_values(scenario_result)
+            if best is None:
+                continue
+            for objective, base_value, value in zip(names, baseline, best):
+                result.entries.append(
+                    SensitivityEntry(
+                        algorithm=algorithm,
+                        application=application,
+                        num_objectives=m,
+                        scenario=scenario,
+                        objective=objective,
+                        baseline=float(base_value),
+                        value=float(value),
+                    )
+                )
+        for (kind, parameter), points in _numeric_sweeps(list(by_scenario)).items():
+            per_objective: dict[str, list[tuple[float, float]]] = {n: [] for n in names}
+            for value, scenario_key in points:
+                best = _best_values(by_scenario[scenario_key])
+                if best is None:
+                    continue
+                for objective, best_value in zip(names, best):
+                    per_objective[objective].append((value, float(best_value)))
+            for objective, sweep_points in per_objective.items():
+                if len(sweep_points) >= 2:
+                    result.sweeps.append(
+                        SweepDerivative(
+                            algorithm=algorithm,
+                            application=application,
+                            num_objectives=m,
+                            kind=kind,
+                            parameter=parameter,
+                            objective=objective,
+                            points=tuple(sweep_points),
+                        )
+                    )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Robustness certificate
+# ---------------------------------------------------------------------- #
+def robustness_certificate(
+    output_dir: "str | Path", quantiles: tuple[float, ...] = (0.5, 0.9)
+) -> RobustnessCertificate:
+    """Worst-case / quantile Pareto-front degradation over the fault grid.
+
+    For each ``(algorithm, application, objective-count)`` group, the identity
+    front and every faulted front share one hypervolume reference point (built
+    from the union of the group's final fronts), and each scenario's
+    degradation is the fractional PHV it loses versus identity.  The
+    certificate aggregates those degradations per algorithm into worst-case,
+    mean and the requested ``quantiles``.
+    """
+    output_dir = Path(output_dir)
+    if not quantiles or any(not 0.0 <= q <= 1.0 for q in quantiles):
+        raise ValueError(f"quantiles must lie in [0, 1], got {quantiles!r}")
+    groups = _collect(output_dir)
+    _require_identity(groups, output_dir)
+    scenarios = tuple(
+        sorted({scenario for by_scenario in groups.values() for scenario in by_scenario})
+    )
+    certificate = RobustnessCertificate(
+        output_dir=output_dir, scenarios=scenarios, quantiles=tuple(quantiles)
+    )
+    for (algorithm, application, m), by_scenario in sorted(groups.items()):
+        identity = by_scenario.get("identity")
+        if identity is None or identity.objectives.size == 0:
+            continue
+        fronts = _group_fronts(by_scenario)
+        reference = reference_point_from(np.vstack(fronts))
+        phv_identity = identity.final_hypervolume(reference)
+        for scenario, scenario_result in sorted(by_scenario.items()):
+            if scenario == "identity" or scenario_result.objectives.size == 0:
+                continue
+            certificate.records.append(
+                DegradationRecord(
+                    algorithm=algorithm,
+                    application=application,
+                    num_objectives=m,
+                    scenario=scenario,
+                    phv_identity=float(phv_identity),
+                    phv_scenario=float(scenario_result.final_hypervolume(reference)),
+                )
+            )
+    return certificate
+
+
+# ---------------------------------------------------------------------- #
+# Text rendering
+# ---------------------------------------------------------------------- #
+def format_sensitivity_map(sensitivity: SensitivityMap) -> str:
+    """Render the sensitivity map as a text report."""
+    lines = [f"Sensitivity map — {sensitivity.output_dir}"]
+    lines.append(f"Scenario grid: {', '.join(sensitivity.scenarios)}")
+    if not sensitivity.entries:
+        lines.append("(no faulted cells with completed identity baselines)")
+        return "\n".join(lines)
+    current: "tuple[str, str, int] | None" = None
+    for entry in sensitivity.entries:
+        group = (entry.algorithm, entry.application, entry.num_objectives)
+        if group != current:
+            current = group
+            lines.append("")
+            lines.append(f"{entry.algorithm} / {entry.application} / {entry.num_objectives}-obj")
+        lines.append(
+            f"  {entry.scenario:<52} {entry.objective:<18} "
+            f"{100.0 * entry.relative_delta:+8.2f}%"
+        )
+    if sensitivity.sweeps:
+        lines.append("")
+        lines.append("Finite-difference sweeps (d objective / d parameter):")
+        for sweep in sensitivity.sweeps:
+            deltas = ", ".join(f"{d:+.4g}" for d in sweep.finite_differences)
+            lines.append(
+                f"  {sweep.algorithm} / {sweep.application} / {sweep.num_objectives}-obj  "
+                f"{sweep.kind}.{sweep.parameter} -> {sweep.objective}: [{deltas}]"
+            )
+    return "\n".join(lines)
+
+
+def format_certificate(certificate: RobustnessCertificate) -> str:
+    """Render the robustness certificate as a text report."""
+    lines = [f"Robustness certificate — {certificate.output_dir}"]
+    lines.append(f"Scenario grid: {', '.join(certificate.scenarios)}")
+    summary = certificate.per_algorithm()
+    if not summary:
+        lines.append("(no faulted cells with completed identity baselines)")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append("PHV degradation vs identity (positive = worse front):")
+    quantile_names = [f"q{int(round(100 * q))}" for q in certificate.quantiles]
+    header = f"  {'algorithm':<12} {'worst':>9} {'mean':>9}" + "".join(
+        f" {name:>9}" for name in quantile_names
+    ) + f" {'cells':>6}"
+    lines.append(header)
+    for algorithm, stats in summary.items():
+        row = f"  {algorithm:<12} {100 * stats['worst_case']:>8.2f}% {100 * stats['mean']:>8.2f}%"
+        for name in quantile_names:
+            row += f" {100 * stats[name]:>8.2f}%"
+        row += f" {int(stats['cells']):>6}"
+        lines.append(row)
+    worst = certificate.worst_case()
+    if worst is not None:
+        lines.append("")
+        lines.append(
+            f"Worst case: {100 * worst.degradation:.2f}% "
+            f"({worst.algorithm}, {worst.application}, {worst.num_objectives}-obj, "
+            f"{worst.scenario})"
+        )
+    return "\n".join(lines)

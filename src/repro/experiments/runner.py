@@ -71,23 +71,46 @@ def make_problem(
     application: str,
     num_objectives: int,
     routing_cache: bool = True,
+    scenario_model: str = "identity",
+    scenario_seed: int = 0,
 ) -> NocDesignProblem:
-    """Build the NoC design problem for one application and objective scenario."""
+    """Build the NoC design problem for one application and objective scenario.
+
+    ``scenario_model`` optionally degrades the evaluation landscape (see
+    :mod:`repro.scenarios`); ``scenario_seed`` seeds its deterministic
+    streams (campaign cells pass their derived cell seed).
+    """
     workload = get_workload(application, experiment.platform, seed=experiment.seed)
-    return NocDesignProblem(workload, scenario=num_objectives, routing_cache=routing_cache)
+    return NocDesignProblem(
+        workload,
+        scenario=num_objectives,
+        routing_cache=routing_cache,
+        scenario_model=scenario_model,
+        scenario_seed=scenario_seed,
+    )
 
 
-def _derived_seed(experiment: ExperimentConfig, algorithm: str, application: str, num_objectives: int) -> int:
+def _derived_seed(
+    experiment: ExperimentConfig,
+    algorithm: str,
+    application: str,
+    num_objectives: int,
+    scenario: str = "identity",
+) -> int:
     """Deterministic per-(algorithm, application, scenario) seed.
 
     Derived by hashing the cell identity together with the base seed, so every
     cell of a campaign grid gets a unique, reproducible stream (the previous
     weighted character sum could collide between cells, which would correlate
-    searches that the paper's protocol treats as independent).
+    searches that the paper's protocol treats as independent).  The identity
+    scenario model is excluded from the hash string, so identity cells keep
+    the exact seeds of pre-scenario campaigns (bit-identical shards, and old
+    output directories stay resumable).
     """
-    digest = hashlib.sha256(
-        f"{experiment.seed}|{algorithm}|{application}|{num_objectives}".encode()
-    ).digest()
+    identity = f"{experiment.seed}|{algorithm}|{application}|{num_objectives}"
+    if scenario != "identity":
+        identity = f"{identity}|{scenario}"
+    digest = hashlib.sha256(identity.encode()).digest()
     return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
 
 
@@ -152,18 +175,33 @@ def compare_algorithms(
 # ---------------------------------------------------------------------- #
 @dataclass(frozen=True)
 class CampaignCell:
-    """One (algorithm, application, scenario) cell of a campaign grid."""
+    """One (algorithm, application, objective scenario, fault scenario) cell.
+
+    ``scenario`` is a canonical scenario-model key (:mod:`repro.scenarios`).
+    The default ``"identity"`` serialises, keys and hashes exactly like the
+    pre-scenario cell format — identity campaigns produce byte-identical
+    manifests and shards and resume from pre-scenario output directories.
+    """
 
     algorithm: str
     application: str
     num_objectives: int
     seed: int
+    scenario: str = "identity"
 
     @property
     def key(self) -> str:
-        """Filesystem-safe cell identifier, e.g. ``MOEA-D_BFS_3obj``."""
+        """Filesystem-safe cell identifier, e.g. ``MOEA-D_BFS_3obj``.
+
+        Non-identity cells append a slug of the scenario key, e.g.
+        ``MOEA-D_BFS_3obj_link_failure-k-1-mode-remove-derate_factor-0.5``.
+        """
         algorithm = re.sub(r"[^A-Za-z0-9.-]+", "-", self.algorithm)
-        return f"{algorithm}_{self.application}_{self.num_objectives}obj"
+        base = f"{algorithm}_{self.application}_{self.num_objectives}obj"
+        if self.scenario != "identity":
+            scenario = re.sub(r"[^A-Za-z0-9._-]+", "-", self.scenario).strip("-")
+            return f"{base}_{scenario}"
+        return base
 
     @property
     def shard_name(self) -> str:
@@ -171,14 +209,23 @@ class CampaignCell:
         return f"cell_{self.key}.json"
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON representation used in the manifest and shard headers."""
-        return {
+        """JSON representation used in the manifest and shard headers.
+
+        The ``scenario`` field is only present for non-identity cells, so
+        identity payloads stay byte-identical to the pre-scenario format
+        (shard identity matching in :func:`cell_payload` compares these
+        dicts verbatim).
+        """
+        payload = {
             "algorithm": self.algorithm,
             "application": self.application,
             "num_objectives": self.num_objectives,
             "seed": self.seed,
             "shard": self.shard_name,
         }
+        if self.scenario != "identity":
+            payload["scenario"] = self.scenario
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "CampaignCell":
@@ -188,6 +235,7 @@ class CampaignCell:
             application=payload["application"],
             num_objectives=int(payload["num_objectives"]),
             seed=int(payload["seed"]),
+            scenario=str(payload.get("scenario", "identity")),
         )
 
 
@@ -230,11 +278,13 @@ def campaign_cells(campaign: CampaignConfig) -> list[CampaignCell]:
             algorithm=algorithm,
             application=application,
             num_objectives=num_objectives,
-            seed=_derived_seed(experiment, algorithm, application, num_objectives),
+            seed=_derived_seed(experiment, algorithm, application, num_objectives, scenario),
+            scenario=scenario,
         )
         for algorithm in algorithms
         for application in experiment.applications
         for num_objectives in experiment.objective_counts
+        for scenario in experiment.scenario_models
     ]
     keys = [cell.key for cell in cells]
     if len(set(keys)) != len(keys):
@@ -407,7 +457,12 @@ def _run_campaign_cell(
                 callback(event)
     experiment = campaign.experiment
     problem = make_problem(
-        experiment, cell.application, cell.num_objectives, routing_cache=campaign.routing_cache
+        experiment,
+        cell.application,
+        cell.num_objectives,
+        routing_cache=campaign.routing_cache,
+        scenario_model=cell.scenario,
+        scenario_seed=cell.seed,
     )
     problem.parallel_evaluation = campaign.resolve_parallel_evaluation()
     try:
@@ -452,9 +507,14 @@ def _run_campaign_cell(
 
 
 def _cell_event(kind: str, cell: CampaignCell, **payload: Any) -> StudyEvent:
-    """Shard-level progress event for one campaign cell."""
+    """Shard-level progress event for one campaign cell.
+
+    Non-identity cells carry their scenario key in the event payload;
+    identity cells emit the exact pre-scenario event shape.
+    """
     evaluations = payload.pop("evaluations", None)
     elapsed = payload.pop("elapsed_seconds", 0.0)
+    extra = {"scenario": cell.scenario} if cell.scenario != "identity" else {}
     return StudyEvent(
         kind=kind,
         algorithm=cell.algorithm,
@@ -462,7 +522,7 @@ def _cell_event(kind: str, cell: CampaignCell, **payload: Any) -> StudyEvent:
         num_objectives=cell.num_objectives,
         evaluations=evaluations,
         elapsed_seconds=elapsed,
-        payload={"key": cell.key, **payload},
+        payload={"key": cell.key, **extra, **payload},
     )
 
 

@@ -280,7 +280,7 @@ class CampaignAggregate:
         )
 
 
-def aggregate_campaign(output_dir: "str | Path") -> CampaignAggregate:
+def aggregate_campaign(output_dir: "str | Path", scenario: str = "identity") -> CampaignAggregate:
     """Fold a campaign directory's finished shards into the table builders.
 
     Loads every completed shard once (lazily, one at a time), groups results
@@ -288,6 +288,12 @@ def aggregate_campaign(output_dir: "str | Path") -> CampaignAggregate:
     :class:`CampaignAggregate` whose :meth:`~CampaignAggregate.table1` /
     :meth:`~CampaignAggregate.table2` render the paper tables from the stored
     histories — no cell is ever re-run.
+
+    ``scenario`` selects one fault-scenario slice of the grid (canonical
+    scenario-model key; the default keeps the tables on the nominal
+    ``"identity"`` cells, so faulted cells never mix into — or overwrite —
+    the paper artefacts).  Cross-scenario comparisons live in
+    :mod:`repro.experiments.robustness`.
     """
     output_dir = Path(output_dir)
     runs: RunMap = {}
@@ -295,6 +301,8 @@ def aggregate_campaign(output_dir: "str | Path") -> CampaignAggregate:
     applications: list[str] = []
     objective_counts: list[int] = []
     for cell, result in load_campaign_results(output_dir):
+        if cell.scenario != scenario:
+            continue
         runs.setdefault((cell.application, cell.num_objectives), {})[cell.algorithm] = result
         if cell.algorithm not in algorithms:
             algorithms.append(cell.algorithm)

@@ -53,6 +53,7 @@ from repro.objectives.traffic import (
     traffic_mean,
     traffic_variance,
 )
+from repro.scenarios.models import ScenarioModel
 from repro.workloads.workload import Workload
 
 #: Canonical objective order used by every scenario.
@@ -109,10 +110,21 @@ def scenario_for(num_objectives: int) -> ObjectiveScenario:
 _WORKER_EVALUATOR: "ObjectiveEvaluator | None" = None
 
 
-def _init_worker(workload: Workload, scenario: "ObjectiveScenario", routing_cache: bool) -> None:
+def _init_worker(
+    workload: Workload,
+    scenario: "ObjectiveScenario",
+    routing_cache: bool,
+    scenario_model: "ScenarioModel | None" = None,
+    scenario_seed: int = 0,
+) -> None:
     global _WORKER_EVALUATOR
     _WORKER_EVALUATOR = ObjectiveEvaluator(
-        workload, scenario, cache_size=0, routing_cache=routing_cache
+        workload,
+        scenario,
+        cache_size=0,
+        routing_cache=routing_cache,
+        scenario_model=scenario_model,
+        scenario_seed=scenario_seed,
     )
 
 
@@ -140,6 +152,17 @@ class ObjectiveEvaluator:
         objective vectors.
     routing_cache_size:
         Maximum number of cached topologies in the routing engine.
+    scenario_model:
+        Optional fault/scenario model (see :mod:`repro.scenarios`) applied
+        pre-evaluation: workload and thermal transforms run once here,
+        per-design transforms run inside :meth:`evaluate`/:meth:`evaluate_many`.
+        The identity model is normalised to ``None`` so the nominal path is
+        literally unchanged.  Both cache tiers stay correct: the vector cache
+        keys on the *nominal* design (the transform is deterministic per
+        design), and faulted topologies key the routing engine by their own
+        link sets.
+    scenario_seed:
+        Seed mixed into the scenario model's sha256-derived streams.
     """
 
     def __init__(
@@ -149,11 +172,22 @@ class ObjectiveEvaluator:
         cache_size: int = 50_000,
         routing_cache: bool = True,
         routing_cache_size: int = 256,
+        scenario_model: "ScenarioModel | None" = None,
+        scenario_seed: int = 0,
     ):
+        if scenario_model is not None and scenario_model.is_identity:
+            scenario_model = None
+        self.scenario_model = scenario_model
+        self.scenario_seed = int(scenario_seed)
+        self.nominal_workload = workload
+        if scenario_model is not None:
+            workload = scenario_model.transform_workload(workload, self.scenario_seed)
         self.workload = workload
         self.config = workload.config
         self.scenario = scenario
         self.thermal_model = ThermalModel(self.config)
+        if scenario_model is not None:
+            self.thermal_model = scenario_model.transform_thermal(self.thermal_model)
         self.cache_size = int(cache_size)
         self._cache: OrderedDict[tuple, np.ndarray] = OrderedDict()
         self._pool: ProcessPoolExecutor | None = None
@@ -269,7 +303,16 @@ class ObjectiveEvaluator:
             self._pool = ProcessPoolExecutor(
                 max_workers=max_workers,
                 initializer=_init_worker,
-                initargs=(self.workload, self.scenario, self.routing_engine is not None),
+                # Workers are primed with the *nominal* workload plus the
+                # scenario model and re-apply the transforms themselves, so
+                # pooled and inline evaluation share one code path.
+                initargs=(
+                    self.nominal_workload,
+                    self.scenario,
+                    self.routing_engine is not None,
+                    self.scenario_model,
+                    self.scenario_seed,
+                ),
             )
             self._pool_workers = max_workers
         return self._pool
@@ -291,13 +334,17 @@ class ObjectiveEvaluator:
         """Objective vector computed by the scalar per-pair reference path.
 
         Bypasses the cache and the vectorized engine; used by equivalence
-        tests and as the baseline of the batch-evaluation benchmark.
+        tests and as the baseline of the batch-evaluation benchmark.  Mirrors
+        the scenario transforms of :meth:`_compute` so faulted evaluation is
+        pinned by the same scalar/vectorized equivalence contract.
         """
+        design = self._scenario_design(design)
         routing = RoutingTables(design, self.config.grid)
         needed = set(self.scenario.objectives)
         values: dict[str, float] = {}
         if needed & {"traffic_mean", "traffic_variance"}:
             utilization = link_utilizations_reference(design, self.workload, routing)
+            utilization = self._scenario_utilization(design, utilization)
             values["traffic_mean"] = traffic_mean(utilization)
             values["traffic_variance"] = traffic_variance(utilization)
         if "cpu_llc_latency" in needed:
@@ -330,9 +377,11 @@ class ObjectiveEvaluator:
 
     def full_report(self, design: NocDesign) -> dict[str, float]:
         """All five objective values for a design, regardless of scenario."""
+        design = self._scenario_design(design)
         routing = self._routing(design)
         frequencies = self.workload.pair_frequencies(design.placement_array())
         utilization = link_utilizations(design, self.workload, routing, frequencies)
+        utilization = self._scenario_utilization(design, utilization)
         return {
             "traffic_mean": traffic_mean(utilization),
             "traffic_variance": traffic_variance(utilization),
@@ -351,7 +400,23 @@ class ObjectiveEvaluator:
             return self.routing_engine.tables(design)
         return RoutingTables(design, self.config.grid)
 
+    def _scenario_design(self, design: NocDesign) -> NocDesign:
+        """The design actually evaluated: scenario-faulted, or the nominal one."""
+        if self.scenario_model is None:
+            return design
+        return self.scenario_model.transform_design(design, self.scenario_seed)
+
+    def _scenario_utilization(self, design: NocDesign, utilization: np.ndarray) -> np.ndarray:
+        """Apply the scenario's per-link load factors (derated capacity)."""
+        if self.scenario_model is None:
+            return utilization
+        factors = self.scenario_model.link_load_factors(design, self.scenario_seed)
+        if factors is None:
+            return utilization
+        return utilization * factors
+
     def _compute(self, design: NocDesign) -> np.ndarray:
+        design = self._scenario_design(design)
         routing = self._routing(design)
         # One pair-frequency gather shared by every objective that needs it.
         frequencies = self.workload.pair_frequencies(design.placement_array())
@@ -359,6 +424,7 @@ class ObjectiveEvaluator:
         values: dict[str, float] = {}
         if needed & {"traffic_mean", "traffic_variance"}:
             utilization = link_utilizations(design, self.workload, routing, frequencies)
+            utilization = self._scenario_utilization(design, utilization)
             values["traffic_mean"] = traffic_mean(utilization)
             values["traffic_variance"] = traffic_variance(utilization)
         if "cpu_llc_latency" in needed:

@@ -1,0 +1,43 @@
+"""Fault/scenario models: deterministic seeded perturbations of the evaluation landscape.
+
+See :mod:`repro.scenarios.models` for the model catalogue and determinism
+contract, and :mod:`repro.scenarios.registry` for the canonical-key parser.
+"""
+
+from repro.scenarios.models import (
+    IDENTITY,
+    HotspotInjection,
+    Identity,
+    LinkFailure,
+    ScenarioError,
+    ScenarioModel,
+    ThermalDerating,
+    TrafficMorph,
+    scenario_rng,
+)
+from repro.scenarios.registry import (
+    ScenarioRegistry,
+    canonical_scenario_key,
+    default_registry,
+    list_scenarios,
+    parse_scenario,
+    scenario_from_dict,
+)
+
+__all__ = [
+    "IDENTITY",
+    "HotspotInjection",
+    "Identity",
+    "LinkFailure",
+    "ScenarioError",
+    "ScenarioModel",
+    "ScenarioRegistry",
+    "ThermalDerating",
+    "TrafficMorph",
+    "canonical_scenario_key",
+    "default_registry",
+    "list_scenarios",
+    "parse_scenario",
+    "scenario_from_dict",
+    "scenario_rng",
+]

@@ -1,0 +1,357 @@
+"""Deterministic, seeded fault/scenario models for robustness campaigns.
+
+A *scenario model* perturbs the evaluation landscape — not the optimiser —
+before a design is scored: it may remove or derate links from the design
+under evaluation (:class:`LinkFailure`), degrade the thermal stack
+(:class:`ThermalDerating`), or reshape the application's traffic matrix
+(:class:`HotspotInjection`, :class:`TrafficMorph`).  Campaigns fan scenario
+models out as a grid axis next to algorithm × application × objective count,
+so every cell answers "how good is this search under *this* degradation?".
+
+Determinism contract
+--------------------
+Every model is a frozen dataclass and a *pure seeded function* of its
+parameters, the campaign seed and (for per-design transforms) the design
+itself: the same ``(model, seed, design)`` triple always yields a
+byte-identical result, and the entropy comes from a sha256-derived
+:func:`numpy.random.default_rng` stream — never from global or ambient RNG
+state.  This is what lets transformed results slot into both cache tiers:
+a faulted link set keys the :class:`~repro.noc.routing_engine.RoutingEngine`
+exactly like any other topology, and the evaluator's vector cache stays
+correct because a given nominal design always maps to the same faulted one.
+
+Each model renders to a canonical string key — ``kind(param=value,...)`` in
+field order, e.g. ``link_failure(k=2,mode=remove,derate_factor=0.5)`` — that
+round-trips through :func:`repro.scenarios.registry.parse_scenario` and is
+what appears in campaign manifests, shard payloads, event-log lines and
+derived-seed hashes.  The bare key ``identity`` is the no-op model; campaign
+plumbing special-cases it so an identity axis is bit-identical to (and
+resume-compatible with) campaigns that predate scenario models.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar
+
+import numpy as np
+
+from repro.noc.constraints import is_connected
+from repro.noc.design import NocDesign
+from repro.objectives.thermal import ThermalModel
+from repro.workloads.traffic_patterns import hotspot
+from repro.workloads.workload import Workload
+
+
+class ScenarioError(ValueError):
+    """A scenario transform cannot be applied.
+
+    Raised for invalid model parameters and — the documented runtime case —
+    when :class:`LinkFailure` in ``remove`` mode cannot take ``k`` links out
+    of a design without disconnecting the network.  Scenario models never
+    silently emit a disconnected design: they either succeed or raise this.
+    """
+
+
+def scenario_rng(*parts: object) -> np.random.Generator:
+    """A deterministic RNG derived by sha256 from the given key parts.
+
+    Used by every stochastic transform so that streams are independent per
+    ``(model key, campaign seed, design)`` and stable across processes,
+    platforms and Python hash randomisation.
+    """
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode("utf-8")).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "big"))
+
+
+def _format_param(value: Any) -> str:
+    """Canonical textual form of a parameter value (round-trips via parse)."""
+    if isinstance(value, bool):  # pragma: no cover - no bool params today
+        return str(value).lower()
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+@dataclass(frozen=True)
+class ScenarioModel:
+    """Base class of all scenario models: identity hooks, canonical key, dicts.
+
+    Subclasses are frozen dataclasses whose fields *are* the model's
+    parameters; the canonical key and ``to_dict`` are derived from them, so a
+    subclass only overrides the transform hooks it actually perturbs.
+    """
+
+    kind: ClassVar[str] = "identity"
+
+    @property
+    def key(self) -> str:
+        """Canonical string key, ``kind(param=value,...)`` in field order."""
+        params = fields(self)
+        if not params:
+            return self.kind
+        inner = ",".join(f"{f.name}={_format_param(getattr(self, f.name))}" for f in params)
+        return f"{self.kind}({inner})"
+
+    @property
+    def is_identity(self) -> bool:
+        """True for the no-op model (campaign plumbing special-cases it)."""
+        return self.kind == "identity"
+
+    # ------------------------------------------------------------------ #
+    # Transform hooks (identity defaults)
+    # ------------------------------------------------------------------ #
+    def transform_workload(self, workload: Workload, seed: int) -> Workload:
+        """Perturbed workload (traffic/power); applied once per evaluator."""
+        return workload
+
+    def transform_thermal(self, model: ThermalModel) -> ThermalModel:
+        """Perturbed thermal model; applied once per evaluator."""
+        return model
+
+    def transform_design(self, design: NocDesign, seed: int) -> NocDesign:
+        """Perturbed design evaluated in place of the nominal one.
+
+        Must never return a disconnected design — raise :class:`ScenarioError`
+        instead.  Deterministic per ``(self, seed, design)``.
+        """
+        return design
+
+    def link_load_factors(self, design: NocDesign, seed: int) -> "np.ndarray | None":
+        """Per-link utilization multipliers (design link order), or None.
+
+        Applied to the link-utilization vector after routing; a link derated
+        to a fraction ``c`` of nominal capacity carries ``1/c`` times the
+        relative load.  ``design`` is the (possibly already transformed)
+        design being evaluated.
+        """
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict form: ``{"kind": ..., <params>}``."""
+        payload: dict[str, Any] = {"kind": self.kind}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ScenarioModel":
+        """Rebuild a model from :meth:`to_dict` output (kind must match)."""
+        data = dict(payload)
+        kind = data.pop("kind", cls.kind)
+        if kind != cls.kind:
+            raise ScenarioError(f"payload kind {kind!r} does not match {cls.kind!r}")
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ScenarioError(f"invalid parameters for scenario {cls.kind!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Identity(ScenarioModel):
+    """The no-op scenario: evaluation is exactly the nominal landscape."""
+
+    kind: ClassVar[str] = "identity"
+
+
+@dataclass(frozen=True)
+class LinkFailure(ScenarioModel):
+    """Remove or derate ``k`` links of every design before evaluation.
+
+    ``mode="remove"`` deletes ``k`` seeded-random links whose removal keeps
+    the network connected (raising :class:`ScenarioError` when no such set
+    exists), so the faulted topology re-routes through the survivors.
+    ``mode="derate"`` keeps the topology but multiplies the utilization of
+    ``k`` seeded-random links by ``1/derate_factor`` — a link at
+    ``derate_factor`` of nominal capacity carries proportionally more
+    relative load.
+    """
+
+    kind: ClassVar[str] = "link_failure"
+
+    k: int = 1
+    mode: str = "remove"
+    derate_factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if int(self.k) != self.k or self.k < 1:
+            raise ScenarioError(f"link_failure k must be a positive integer, got {self.k!r}")
+        object.__setattr__(self, "k", int(self.k))
+        if self.mode not in ("remove", "derate"):
+            raise ScenarioError(f"link_failure mode must be 'remove' or 'derate', got {self.mode!r}")
+        if not 0.0 < float(self.derate_factor) <= 1.0:
+            raise ScenarioError(
+                f"link_failure derate_factor must be in (0, 1], got {self.derate_factor!r}"
+            )
+        object.__setattr__(self, "derate_factor", float(self.derate_factor))
+
+    def _chosen_order(self, design: NocDesign, seed: int) -> list[int]:
+        rng = scenario_rng(self.key, seed, design.key())
+        return [int(i) for i in rng.permutation(design.num_links)]
+
+    def transform_design(self, design: NocDesign, seed: int) -> NocDesign:
+        if self.mode != "remove":
+            return design
+        if self.k >= design.num_links:
+            raise ScenarioError(
+                f"cannot remove {self.k} of {design.num_links} links without disconnecting"
+            )
+        remaining = list(design.links)
+        removed = 0
+        for idx in self._chosen_order(design, seed):
+            if removed >= self.k:
+                break
+            link = design.links[idx]
+            if link not in remaining:
+                continue
+            trial = [l for l in remaining if l != link]
+            if is_connected(NocDesign(placement=design.placement, links=tuple(trial))):
+                remaining = trial
+                removed += 1
+        if removed < self.k:
+            raise ScenarioError(
+                f"cannot remove {self.k} links from design without disconnecting "
+                f"(only {removed} removable)"
+            )
+        return NocDesign(placement=design.placement, links=tuple(remaining))
+
+    def link_load_factors(self, design: NocDesign, seed: int) -> "np.ndarray | None":
+        if self.mode != "derate":
+            return None
+        factors = np.ones(design.num_links, dtype=np.float64)
+        chosen = self._chosen_order(design, seed)[: min(self.k, design.num_links)]
+        factors[chosen] = 1.0 / self.derate_factor
+        return factors
+
+
+@dataclass(frozen=True)
+class ThermalDerating(ScenarioModel):
+    """Scale the thermal stack's per-layer resistances by ``factor``.
+
+    ``factor > 1`` models degraded cooling (e.g. TIM ageing, fan failure);
+    ``region`` selects which layers degrade: ``"all"``, ``"upper"`` (the
+    half farthest from the heat sink) or ``"lower"`` (the half nearest).
+    Deterministic and design-independent, so it costs one thermal-model
+    rebuild per evaluator.
+    """
+
+    kind: ClassVar[str] = "thermal_derating"
+
+    factor: float = 1.5
+    region: str = "all"
+
+    def __post_init__(self) -> None:
+        if float(self.factor) <= 0.0:
+            raise ScenarioError(f"thermal_derating factor must be > 0, got {self.factor!r}")
+        object.__setattr__(self, "factor", float(self.factor))
+        if self.region not in ("all", "upper", "lower"):
+            raise ScenarioError(
+                f"thermal_derating region must be 'all', 'upper' or 'lower', got {self.region!r}"
+            )
+
+    def transform_thermal(self, model: ThermalModel) -> ThermalModel:
+        resistances = model.resistances.copy()
+        layers = len(resistances)
+        if self.region == "all":
+            selected = slice(0, layers)
+        elif self.region == "lower":
+            selected = slice(0, layers // 2)
+        else:  # upper: layers farthest from the sink; the whole stack when Y=1
+            selected = slice(layers // 2, layers) if layers > 1 else slice(0, layers)
+        resistances[selected] *= self.factor
+        return ThermalModel(model.config, layer_resistances=tuple(float(r) for r in resistances))
+
+
+@dataclass(frozen=True)
+class HotspotInjection(ScenarioModel):
+    """Overlay seeded hotspot traffic on the workload's traffic matrix.
+
+    Adds a :func:`repro.workloads.traffic_patterns.hotspot` pattern —
+    ``num_hot`` hot LLCs drawing extra traffic from every sender — at
+    ``intensity`` on top of the nominal traffic.  The overlay is drawn from
+    a sha256-derived stream of ``(key, seed)``, so it is identical for every
+    design in a campaign cell.
+    """
+
+    kind: ClassVar[str] = "hotspot_injection"
+
+    intensity: float = 1.0
+    num_hot: int = 2
+
+    def __post_init__(self) -> None:
+        if float(self.intensity) <= 0.0:
+            raise ScenarioError(
+                f"hotspot_injection intensity must be > 0, got {self.intensity!r}"
+            )
+        object.__setattr__(self, "intensity", float(self.intensity))
+        if int(self.num_hot) != self.num_hot or self.num_hot < 1:
+            raise ScenarioError(
+                f"hotspot_injection num_hot must be a positive integer, got {self.num_hot!r}"
+            )
+        object.__setattr__(self, "num_hot", int(self.num_hot))
+
+    def transform_workload(self, workload: Workload, seed: int) -> Workload:
+        rng = scenario_rng(self.key, seed)
+        overlay = hotspot(workload.config, self.intensity, rng, num_hot=self.num_hot)
+        metadata = dict(workload.metadata)
+        metadata["scenario"] = self.key
+        return Workload(
+            name=workload.name,
+            config=workload.config,
+            traffic=workload.traffic + overlay,
+            power=workload.power,
+            compute_cycles=workload.compute_cycles,
+            metadata=metadata,
+        )
+
+
+@dataclass(frozen=True)
+class TrafficMorph(ScenarioModel):
+    """Reshape the workload's traffic: total volume × ``scale``, skew ``skew``.
+
+    Non-zero frequencies are raised to the power ``skew`` (``> 1``
+    concentrates volume on the already-hot pairs, ``< 1`` flattens the
+    distribution) and the matrix is rescaled so its total volume is ``scale``
+    times the nominal total.  Deterministic and seed-independent: the morph
+    is a pure function of the nominal traffic.
+    """
+
+    kind: ClassVar[str] = "traffic_morph"
+
+    scale: float = 1.0
+    skew: float = 1.0
+
+    def __post_init__(self) -> None:
+        if float(self.scale) <= 0.0:
+            raise ScenarioError(f"traffic_morph scale must be > 0, got {self.scale!r}")
+        if float(self.skew) <= 0.0:
+            raise ScenarioError(f"traffic_morph skew must be > 0, got {self.skew!r}")
+        object.__setattr__(self, "scale", float(self.scale))
+        object.__setattr__(self, "skew", float(self.skew))
+
+    def transform_workload(self, workload: Workload, seed: int) -> Workload:
+        traffic = workload.traffic.copy()
+        total = traffic.sum()
+        if total <= 0.0:
+            return workload
+        nonzero = traffic > 0.0
+        traffic[nonzero] = traffic[nonzero] ** self.skew
+        traffic *= (self.scale * total) / traffic.sum()
+        metadata = dict(workload.metadata)
+        metadata["scenario"] = self.key
+        return Workload(
+            name=workload.name,
+            config=workload.config,
+            traffic=traffic,
+            power=workload.power,
+            compute_cycles=workload.compute_cycles,
+            metadata=metadata,
+        )
+
+
+#: The identity model singleton used as the default scenario everywhere.
+IDENTITY = Identity()

@@ -1,0 +1,145 @@
+"""Scenario-model registry and canonical-key parser.
+
+Scenario models are registered by kind on a :class:`~repro.utils.registry.NamedRegistry`
+(the same helper — and therefore the same duplicate/unknown error contract —
+as the workload registry), and are most often spelled as canonical keys in
+Study configs, CLI flags and campaign manifests:
+
+>>> parse_scenario("link_failure(k=2,mode=remove)")
+LinkFailure(k=2, mode='remove', derate_factor=0.5)
+>>> parse_scenario("identity").is_identity
+True
+
+Keys round-trip: ``parse_scenario(model.key) == model`` for every registered
+model, which property tests pin down.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.scenarios.models import (
+    IDENTITY,
+    HotspotInjection,
+    Identity,
+    LinkFailure,
+    ScenarioError,
+    ScenarioModel,
+    ThermalDerating,
+    TrafficMorph,
+)
+from repro.utils.registry import NamedRegistry
+
+
+class ScenarioRegistry:
+    """Registry of scenario-model classes keyed by kind (case-insensitive)."""
+
+    def __init__(self) -> None:
+        self._registry: NamedRegistry[type[ScenarioModel]] = NamedRegistry(
+            "scenario model", normalize=str.lower
+        )
+
+    def register(self, model_cls: type[ScenarioModel], overwrite: bool = False) -> None:
+        """Register a model class under its ``kind``."""
+        self._registry.register(model_cls.kind, model_cls, overwrite=overwrite)
+
+    def get(self, kind: str) -> type[ScenarioModel]:
+        """The model class registered under ``kind`` (any case)."""
+        return self._registry.get(kind)
+
+    def kinds(self) -> list[str]:
+        """Every registered kind, sorted."""
+        return self._registry.names()
+
+    def __contains__(self, kind: object) -> bool:
+        return kind in self._registry
+
+
+_DEFAULT_REGISTRY = ScenarioRegistry()
+for _cls in (Identity, LinkFailure, ThermalDerating, HotspotInjection, TrafficMorph):
+    _DEFAULT_REGISTRY.register(_cls)
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide default scenario registry."""
+    return _DEFAULT_REGISTRY
+
+
+def list_scenarios() -> list[str]:
+    """Kinds available in the default registry."""
+    return _DEFAULT_REGISTRY.kinds()
+
+
+_KEY_PATTERN = re.compile(r"^\s*([A-Za-z_][A-Za-z0-9_]*)\s*(?:\((.*)\))?\s*$")
+
+
+def _coerce(text: str) -> "int | float | str":
+    """Parameter literal -> int, float or bare string (canonical precedence)."""
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def parse_scenario(spec: "str | ScenarioModel") -> ScenarioModel:
+    """Parse a canonical scenario key into its model instance.
+
+    Accepts ``kind`` or ``kind(param=value,...)``; passing an existing
+    :class:`ScenarioModel` returns it unchanged.  Unknown kinds raise
+    ``KeyError`` via the registry contract; malformed keys or bad parameters
+    raise :class:`ScenarioError`.
+    """
+    if isinstance(spec, ScenarioModel):
+        return spec
+    match = _KEY_PATTERN.match(str(spec))
+    if not match:
+        raise ScenarioError(f"malformed scenario key {spec!r}; expected kind(param=value,...)")
+    kind, params_text = match.group(1), match.group(2)
+    model_cls = _DEFAULT_REGISTRY.get(kind)
+    params: dict[str, Any] = {}
+    if params_text is not None and params_text.strip():
+        for item in params_text.split(","):
+            if "=" not in item:
+                raise ScenarioError(
+                    f"malformed scenario parameter {item.strip()!r} in {spec!r}; expected name=value"
+                )
+            name, _, value = item.partition("=")
+            params[name.strip()] = _coerce(value.strip())
+    try:
+        return model_cls(**params)
+    except ScenarioError:
+        raise
+    except TypeError as exc:
+        raise ScenarioError(f"invalid parameters for scenario {kind!r}: {exc}") from exc
+
+
+def scenario_from_dict(payload: dict[str, Any]) -> ScenarioModel:
+    """Rebuild a model from its :meth:`ScenarioModel.to_dict` payload."""
+    if "kind" not in payload:
+        raise ScenarioError("scenario payload is missing its 'kind' field")
+    model_cls = _DEFAULT_REGISTRY.get(str(payload["kind"]))
+    data = dict(payload)
+    data["kind"] = model_cls.kind
+    return model_cls.from_dict(data)
+
+
+def canonical_scenario_key(spec: "str | ScenarioModel") -> str:
+    """The canonical key a spec normalises to (parses string specs)."""
+    return parse_scenario(spec).key
+
+
+__all__ = [
+    "IDENTITY",
+    "ScenarioRegistry",
+    "canonical_scenario_key",
+    "default_registry",
+    "list_scenarios",
+    "parse_scenario",
+    "scenario_from_dict",
+]

@@ -54,7 +54,14 @@ from repro.experiments.tables import (
     format_table,
 )
 from repro.moo.result import OptimizationResult
+from repro.experiments.robustness import (
+    RobustnessCertificate,
+    SensitivityMap,
+    robustness_certificate,
+    sensitivity_map,
+)
 from repro.noc.platform import PlatformConfig
+from repro.scenarios.registry import canonical_scenario_key
 from repro.study.events import EventCallback, StudyEvent
 from repro.study.registry import default_registry
 from repro.utils.serialization import platform_to_dict
@@ -87,6 +94,7 @@ _STUDY_KEYS: tuple[str, ...] = (
     "algorithms",
     "population_size",
     "evaluations",
+    "scenarios",
     "seed",
     "routing_cache",
     "campaign",
@@ -153,6 +161,11 @@ class Study:
     population_size, evaluations, seed:
         Overrides for the preset's population, per-run evaluation budget and
         base seed.
+    scenarios:
+        Fault/scenario models run as a campaign grid axis (canonical keys,
+        e.g. ``"link_failure(k=1,mode=remove)"``; see :mod:`repro.scenarios`).
+        Validated at build time; campaign mode only — the default is the
+        single nominal ``identity`` axis.
     routing_cache:
         ``False`` disables the cross-design routing engine (escape hatch;
         results are bit-identical either way).
@@ -167,6 +180,7 @@ class Study:
         population_size: "int | None" = None,
         evaluations: "int | None" = None,
         seed: "int | None" = None,
+        scenarios: "tuple[str, ...] | list[str] | None" = None,
         routing_cache: bool = True,
     ):
         if preset not in PRESETS:
@@ -178,6 +192,7 @@ class Study:
         self._population_size = population_size
         self._evaluations = evaluations
         self._seed = seed
+        self._scenarios = self._normalize_scenarios(scenarios)
         self._routing_cache = bool(routing_cache)
         self._algorithms: list[_AlgorithmEntry] = []
         self._campaign: "dict[str, Any] | None" = None
@@ -253,6 +268,24 @@ class Study:
         self._routing_cache = bool(enabled)
         return self
 
+    @staticmethod
+    def _normalize_scenarios(
+        scenarios: "tuple[str, ...] | list[str] | None",
+    ) -> "tuple[str, ...] | None":
+        """Canonicalise scenario keys eagerly so typos fail at build time."""
+        if scenarios is None:
+            return None
+        return tuple(canonical_scenario_key(str(s)) for s in scenarios)
+
+    def scenarios(self, *models: str) -> "Study":
+        """Set the fault/scenario grid axis (canonical keys; campaign mode).
+
+        Include ``"identity"`` alongside the fault models when robustness
+        analyses should compare against the nominal baseline (they need it).
+        """
+        self._scenarios = self._normalize_scenarios(list(models))
+        return self
+
     def on_event(self, callback: "EventCallback | None") -> "Study":
         """Subscribe a callback to the study's streaming progress events."""
         self._on_event = callback
@@ -312,6 +345,7 @@ class Study:
             population_size=payload.get("population_size"),
             evaluations=payload.get("evaluations"),
             seed=payload.get("seed"),
+            scenarios=payload.get("scenarios"),
             routing_cache=bool(payload.get("routing_cache", True)),
         )
         for entry in payload.get("algorithms", ()):
@@ -394,6 +428,8 @@ class Study:
             payload["evaluations"] = self._evaluations
         if self._seed is not None:
             payload["seed"] = self._seed
+        if self._scenarios is not None:
+            payload["scenarios"] = list(self._scenarios)
         if not self._routing_cache:
             payload["routing_cache"] = False
         if self._campaign is not None:
@@ -432,6 +468,8 @@ class Study:
             overrides["max_evaluations"] = self._evaluations
         if self._seed is not None:
             overrides["seed"] = self._seed
+        if self._scenarios is not None:
+            overrides["scenario_models"] = self._scenarios
         return replace(experiment, **overrides) if overrides else experiment
 
     def campaign_config(self) -> CampaignConfig:
@@ -475,6 +513,12 @@ class Study:
         if self._campaign is not None:
             return self._run_campaign()
         experiment = self.experiment()
+        if experiment.scenario_models != ("identity",):
+            raise ValueError(
+                "fault scenarios need campaign mode (shards carry the per-scenario "
+                "results the robustness analyses read); call .campaign(output_dir) "
+                "or drop .scenarios(...)"
+            )
         names = self.algorithm_names()
         self._emit(
             "study_started",
@@ -620,6 +664,30 @@ class StudyResult:
     def format_tables(self, measure: str = "evaluations") -> str:
         """Render Table I and Table II as text (needs >= 2 algorithms)."""
         return format_table(self.table1(measure)) + "\n\n" + format_table(self.table2())
+
+    def robustness(self, quantiles: tuple[float, ...] = (0.5, 0.9)) -> RobustnessCertificate:
+        """Robustness certificate over the campaign's fault-scenario grid.
+
+        Campaign-mode only: the certificate is computed purely from the
+        finished shards (see :mod:`repro.experiments.robustness`), so it
+        never re-runs a cell.  Requires completed ``identity`` cells as the
+        degradation baseline.
+        """
+        if self.campaign is None:
+            raise ValueError(
+                "robustness analyses read finished campaign shards; run the study "
+                "in campaign mode (.campaign(output_dir)) with a scenarios axis"
+            )
+        return robustness_certificate(self.campaign.output_dir, quantiles=quantiles)
+
+    def sensitivity(self) -> SensitivityMap:
+        """Per-objective scenario sensitivity map from the campaign's shards."""
+        if self.campaign is None:
+            raise ValueError(
+                "sensitivity maps read finished campaign shards; run the study "
+                "in campaign mode (.campaign(output_dir)) with a scenarios axis"
+            )
+        return sensitivity_map(self.campaign.output_dir)
 
     def routing_cache_summary(self) -> dict[str, Any]:
         """Folded routing-engine counters across every run of the study.

@@ -1,0 +1,73 @@
+"""Shared name->entry registry helper with one error contract.
+
+The package grew several string-keyed registries (application workloads,
+scenario models, optimizers) that each re-implemented the same three rules:
+canonical-key normalisation, a duplicate-registration guard behind an
+``overwrite`` flag, and an unknown-key error that lists what *is* available.
+:class:`NamedRegistry` is the single home of that contract so every registry
+raises the same messages and normalises keys the same way:
+
+* duplicate registration -> ``ValueError(f"{kind} {name!r} is already registered")``
+* unknown lookup -> ``KeyError(f"unknown {kind} {name!r}; available: [...]")``
+
+``kind`` is the human noun used in both messages (``"application"``,
+``"scenario model"``), and ``normalize`` maps any accepted spelling to the
+canonical key (``str.upper`` for applications, ``str.lower`` for scenario
+kinds).  The available-names list is always sorted, so error messages and
+:meth:`names` are deterministic regardless of registration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+class NamedRegistry(Generic[T]):
+    """String-keyed registry enforcing the shared error contract.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable noun for error messages (e.g. ``"application"``).
+    normalize:
+        Canonical-key normaliser applied to every name on registration and
+        lookup; defaults to the identity (case-sensitive keys).
+    """
+
+    def __init__(self, kind: str, normalize: "Callable[[str], str] | None" = None):
+        self.kind = kind
+        self._normalize = normalize if normalize is not None else str
+        self._entries: dict[str, T] = {}
+
+    def canonical(self, name: str) -> str:
+        """The canonical key a name normalises to (no existence check)."""
+        return self._normalize(str(name))
+
+    def register(self, name: str, entry: T, overwrite: bool = False) -> None:
+        """Register ``entry`` under ``name``; duplicates raise unless ``overwrite``."""
+        key = self.canonical(name)
+        if key in self._entries and not overwrite:
+            raise ValueError(f"{self.kind} {name!r} is already registered")
+        self._entries[key] = entry
+
+    def get(self, name: str) -> T:
+        """Look an entry up by any accepted spelling of its name."""
+        key = self.canonical(name)
+        if key not in self._entries:
+            raise KeyError(f"unknown {self.kind} {name!r}; available: {self.names()}")
+        return self._entries[key]
+
+    def names(self) -> list[str]:
+        """Every registered canonical key, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        return isinstance(name, str) and self.canonical(name) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())

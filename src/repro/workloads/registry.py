@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.noc.platform import PlatformConfig
+from repro.utils.registry import NamedRegistry
 from repro.workloads.rodinia import RODINIA_APPLICATIONS, generate_rodinia_workload
 from repro.workloads.workload import Workload
 
@@ -18,13 +19,19 @@ class WorkloadRegistry:
     the paper; users can register additional applications (e.g. custom traces)
     with :meth:`register`.
     Generated workloads are cached per ``(application, platform, seed)``.
+
+    Name normalisation (upper-case canonical keys) and the duplicate/unknown
+    error contract are shared with the scenario registry through
+    :class:`~repro.utils.registry.NamedRegistry`.
     """
 
     def __init__(self) -> None:
-        self._factories: dict[str, WorkloadFactory] = {}
+        self._factories: NamedRegistry[WorkloadFactory] = NamedRegistry(
+            "application", normalize=str.upper
+        )
         self._cache: dict[tuple[str, str, int, int, int], Workload] = {}
         for app in RODINIA_APPLICATIONS:
-            self._factories[app] = self._make_rodinia_factory(app)
+            self._factories.register(app, self._make_rodinia_factory(app))
 
     @staticmethod
     def _make_rodinia_factory(app: str) -> WorkloadFactory:
@@ -35,23 +42,19 @@ class WorkloadRegistry:
 
     def register(self, name: str, factory: WorkloadFactory, overwrite: bool = False) -> None:
         """Register a new application workload factory."""
-        key = name.upper()
-        if key in self._factories and not overwrite:
-            raise ValueError(f"application {name!r} is already registered")
-        self._factories[key] = factory
+        self._factories.register(name, factory, overwrite=overwrite)
 
     def applications(self) -> list[str]:
         """Names of all registered applications."""
-        return sorted(self._factories)
+        return self._factories.names()
 
     def get(self, name: str, config: PlatformConfig, seed: int = 0) -> Workload:
         """Return (and cache) the workload for one application on one platform."""
-        key = name.upper()
-        if key not in self._factories:
-            raise KeyError(f"unknown application {name!r}; available: {self.applications()}")
+        factory = self._factories.get(name)
+        key = self._factories.canonical(name)
         cache_key = (key, config.name, config.n, config.layers, int(seed))
         if cache_key not in self._cache:
-            self._cache[cache_key] = self._factories[key](config, int(seed))
+            self._cache[cache_key] = factory(config, int(seed))
         return self._cache[cache_key]
 
 

@@ -1,5 +1,7 @@
 """Tests for the experiment configuration."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.experiments.config import ExperimentConfig
@@ -43,3 +45,33 @@ class TestExperimentConfig:
     def test_custom_platform_accepted(self):
         config = ExperimentConfig(platform=PlatformConfig.tiny_2x2x2(), applications=("BFS",))
         assert config.platform.num_tiles == 8
+
+
+class TestScenarioModelsAxis:
+    def test_default_is_single_identity(self):
+        assert ExperimentConfig.smoke().scenario_models == ("identity",)
+
+    def test_keys_canonicalised_at_construction(self):
+        experiment = replace(ExperimentConfig.smoke(), scenario_models=("link_failure(k=2)",))
+        assert experiment.scenario_models == (
+            "link_failure(k=2,mode=remove,derate_factor=0.5)",
+        )
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario model"):
+            replace(ExperimentConfig.smoke(), scenario_models=())
+
+    def test_duplicates_rejected_after_canonicalisation(self):
+        with pytest.raises(ValueError, match="duplicate scenario models"):
+            replace(
+                ExperimentConfig.smoke(),
+                scenario_models=("link_failure(k=1)", "link_failure(k=1,mode=remove)"),
+            )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario model"):
+            replace(ExperimentConfig.smoke(), scenario_models=("meteor_strike",))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            replace(ExperimentConfig.smoke(), scenario_models=("link_failure(k=-1)",))

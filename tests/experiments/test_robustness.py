@@ -1,0 +1,159 @@
+"""Tests for the robustness analytics (sensitivity map + certificate)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.compaction import compact_campaign
+from repro.experiments.config import CampaignConfig, ExperimentConfig
+from repro.experiments.robustness import (
+    DegradationRecord,
+    SensitivityEntry,
+    SweepDerivative,
+    format_certificate,
+    format_sensitivity_map,
+    robustness_certificate,
+    sensitivity_map,
+)
+from repro.experiments.runner import run_campaign
+
+K1 = "link_failure(k=1,mode=remove,derate_factor=0.5)"
+K2 = "link_failure(k=2,mode=remove,derate_factor=0.5)"
+
+
+@pytest.fixture(scope="module")
+def fault_campaign_dir(tmp_path_factory):
+    """One finished 2-algorithm x 1-app x {identity, k=1, k=2} campaign."""
+    output_dir = tmp_path_factory.mktemp("fault-campaign")
+    campaign = CampaignConfig(
+        experiment=replace(ExperimentConfig.smoke(), scenario_models=("identity", K1, K2)),
+        algorithms=("MOEA/D", "NSGA-II"),
+        max_evaluations=40,
+    )
+    run_campaign(campaign, output_dir)
+    return output_dir
+
+
+class TestSensitivityMap:
+    def test_entries_cover_every_faulted_group(self, fault_campaign_dir):
+        smap = sensitivity_map(fault_campaign_dir)
+        assert smap.scenarios == ("identity", K1, K2)
+        covered = {(e.algorithm, e.scenario) for e in smap.entries}
+        assert covered == {
+            (alg, scenario)
+            for alg in ("MOEA/D", "NSGA-II")
+            for scenario in (K1, K2)
+        }
+        # one entry per objective of the 3-obj scenario
+        per_group = [e for e in smap.entries if e.algorithm == "MOEA/D" and e.scenario == K1]
+        assert len(per_group) == 3
+
+    def test_single_parameter_sweep_detected(self, fault_campaign_dir):
+        smap = sensitivity_map(fault_campaign_dir)
+        assert smap.sweeps, "k=1 vs k=2 should form a link_failure.k sweep"
+        for sweep in smap.sweeps:
+            assert (sweep.kind, sweep.parameter) == ("link_failure", "k")
+            assert [p for p, _ in sweep.points] == [1.0, 2.0]
+            assert len(sweep.finite_differences) == 1
+
+    def test_relative_delta_matches_baseline_and_value(self, fault_campaign_dir):
+        for entry in sensitivity_map(fault_campaign_dir).entries:
+            if entry.baseline != 0.0:
+                expected = (entry.value - entry.baseline) / abs(entry.baseline)
+                assert entry.relative_delta == pytest.approx(expected)
+
+    def test_format_renders_groups_and_sweeps(self, fault_campaign_dir):
+        text = format_sensitivity_map(sensitivity_map(fault_campaign_dir))
+        assert text.startswith("Sensitivity map —")
+        assert K1 in text and K2 in text
+        assert "Finite-difference sweeps" in text
+
+
+class TestRobustnessCertificate:
+    def test_records_one_per_faulted_group(self, fault_campaign_dir):
+        certificate = robustness_certificate(fault_campaign_dir)
+        assert len(certificate.records) == 4  # 2 algorithms x 2 fault scenarios
+        for record in certificate.records:
+            assert record.phv_identity > 0
+            assert not np.isnan(record.degradation)
+            assert record.degradation <= 1.0  # PHV cannot degrade past 100%
+
+    def test_per_algorithm_statistics(self, fault_campaign_dir):
+        certificate = robustness_certificate(fault_campaign_dir, quantiles=(0.5,))
+        summary = certificate.per_algorithm()
+        assert sorted(summary) == ["MOEA/D", "NSGA-II"]
+        for stats in summary.values():
+            assert stats["cells"] == 2
+            assert stats["worst_case"] >= stats["mean"] - 1e-12
+            assert {"worst_case", "mean", "cells", "q50"} <= set(stats)
+
+    def test_worst_case_is_the_max_record(self, fault_campaign_dir):
+        certificate = robustness_certificate(fault_campaign_dir)
+        worst = certificate.worst_case()
+        assert worst is not None
+        assert worst.degradation == max(r.degradation for r in certificate.records)
+
+    def test_invalid_quantiles_rejected(self, fault_campaign_dir):
+        with pytest.raises(ValueError, match="quantiles"):
+            robustness_certificate(fault_campaign_dir, quantiles=(1.5,))
+        with pytest.raises(ValueError, match="quantiles"):
+            robustness_certificate(fault_campaign_dir, quantiles=())
+
+    def test_format_leads_with_certificate_header(self, fault_campaign_dir):
+        text = format_certificate(robustness_certificate(fault_campaign_dir))
+        assert text.startswith("Robustness certificate —")
+        assert "Worst case:" in text
+        assert "q50" in text and "q90" in text
+
+    def test_identical_from_compacted_rollup(self, fault_campaign_dir):
+        before = format_certificate(robustness_certificate(fault_campaign_dir))
+        before_map = format_sensitivity_map(sensitivity_map(fault_campaign_dir))
+        compact_campaign(fault_campaign_dir)
+        assert format_certificate(robustness_certificate(fault_campaign_dir)) == before
+        assert format_sensitivity_map(sensitivity_map(fault_campaign_dir)) == before_map
+
+
+class TestErrorContracts:
+    def test_empty_campaign_dir_raises(self, tmp_path):
+        campaign = CampaignConfig(
+            experiment=ExperimentConfig.smoke(), algorithms=("NSGA-II",), max_evaluations=40
+        )
+        # A manifest with zero completed cells: write the grid, delete the shard.
+        summary = run_campaign(campaign, tmp_path)
+        summary.shard_path(summary.cells[0].key).unlink()
+        with pytest.raises(ValueError, match="no completed shards"):
+            robustness_certificate(tmp_path)
+
+    def test_campaign_without_identity_cells_raises(self, tmp_path):
+        campaign = CampaignConfig(
+            experiment=replace(ExperimentConfig.smoke(), scenario_models=(K1,)),
+            algorithms=("NSGA-II",),
+            max_evaluations=40,
+        )
+        run_campaign(campaign, tmp_path)
+        with pytest.raises(ValueError, match="no completed 'identity' cells"):
+            sensitivity_map(tmp_path)
+
+
+class TestRecordArithmetic:
+    def test_degradation_formula(self):
+        record = DegradationRecord("A", "BFS", 3, K1, phv_identity=10.0, phv_scenario=7.5)
+        assert record.degradation == pytest.approx(0.25)
+
+    def test_zero_identity_phv_is_nan(self):
+        record = DegradationRecord("A", "BFS", 3, K1, phv_identity=0.0, phv_scenario=1.0)
+        assert np.isnan(record.degradation)
+
+    def test_zero_baseline_sensitivity(self):
+        entry = SensitivityEntry("A", "BFS", 3, K1, "latency", baseline=0.0, value=1.0)
+        assert entry.relative_delta == float("inf")
+        flat = SensitivityEntry("A", "BFS", 3, K1, "latency", baseline=0.0, value=0.0)
+        assert flat.relative_delta == 0.0
+
+    def test_finite_differences(self):
+        sweep = SweepDerivative(
+            "A", "BFS", 3, "link_failure", "k", "latency",
+            points=((1.0, 10.0), (2.0, 14.0), (4.0, 14.0)),
+        )
+        assert sweep.finite_differences == pytest.approx((4.0, 0.0))

@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) for the scenario-model contracts.
+
+Three contracts make scenario models safe to slot into cache keys and shard
+manifests: transforms are pure seeded functions (same seed -> byte-identical
+output, different seeds -> different victims), a ``remove``-mode transform
+either returns a connected design or raises the documented ``ScenarioError``
+(never a silently disconnected topology), and every model round-trips both
+its canonical key and its ``to_dict`` payload.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.noc.constraints import is_connected, random_design
+from repro.noc.platform import PlatformConfig
+from repro.scenarios.models import (
+    HotspotInjection,
+    Identity,
+    LinkFailure,
+    ScenarioError,
+    ThermalDerating,
+    TrafficMorph,
+)
+from repro.scenarios.registry import parse_scenario
+from repro.workloads.registry import get_workload
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TINY = PlatformConfig.tiny_2x2x2()
+
+#: Reasonable, always-valid parameter draws for every model kind.
+link_failures = st.builds(
+    LinkFailure,
+    k=st.integers(min_value=1, max_value=3),
+    mode=st.sampled_from(("remove", "derate")),
+    derate_factor=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+)
+thermal_deratings = st.builds(
+    ThermalDerating,
+    factor=st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+    region=st.sampled_from(("all", "upper", "lower")),
+)
+hotspot_injections = st.builds(
+    HotspotInjection,
+    intensity=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    num_hot=st.integers(min_value=1, max_value=3),
+)
+traffic_morphs = st.builds(
+    TrafficMorph,
+    scale=st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    skew=st.floats(min_value=0.5, max_value=2.0, allow_nan=False),
+)
+any_model = st.one_of(
+    st.builds(Identity), link_failures, thermal_deratings, hotspot_injections, traffic_morphs
+)
+design_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+scenario_seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def design_for(seed: int):
+    return random_design(TINY, np.random.default_rng(seed))
+
+
+@given(model=link_failures, design_seed=design_seeds, seed=scenario_seeds)
+@SETTINGS
+def test_design_transform_pure_seeded(model, design_seed, seed):
+    design = design_for(design_seed)
+    first = model.transform_design(design, seed)
+    second = model.transform_design(design, seed)
+    assert first == second
+    first_factors = model.link_load_factors(design, seed)
+    second_factors = model.link_load_factors(design, seed)
+    if first_factors is None:
+        assert second_factors is None
+    else:
+        assert np.array_equal(first_factors, second_factors)
+
+
+@given(design_seed=design_seeds, seed_a=scenario_seeds, seed_b=scenario_seeds)
+@SETTINGS
+def test_different_seeds_pick_different_victims_eventually(design_seed, seed_a, seed_b):
+    """Same-seed equality plus a drift witness across a handful of seeds."""
+    design = design_for(design_seed)
+    model = LinkFailure(k=1, mode="derate")
+    a = model.link_load_factors(design, seed_a)
+    b = model.link_load_factors(design, seed_b)
+    if seed_a == seed_b:
+        assert np.array_equal(a, b)
+    else:
+        # A single pair may collide (k=1 of ~12 links); across 16 consecutive
+        # seeds the victim choice must vary or the stream is not seeded.
+        picks = {tuple(model.link_load_factors(design, s)) for s in range(seed_a, seed_a + 16)}
+        assert len(picks) > 1
+
+
+@given(model=link_failures, design_seed=design_seeds, seed=scenario_seeds)
+@SETTINGS
+def test_remove_never_emits_disconnected_design(model, design_seed, seed):
+    design = design_for(design_seed)
+    try:
+        faulted = model.transform_design(design, seed)
+    except ScenarioError:
+        return  # the documented failure mode
+    assert is_connected(faulted)
+    if model.mode == "remove":
+        assert faulted.num_links == design.num_links - model.k
+        assert set(faulted.links) <= set(design.links)
+
+
+@given(model=st.one_of(hotspot_injections, traffic_morphs), seed=scenario_seeds)
+@SETTINGS
+def test_workload_transform_pure_seeded(model, seed):
+    workload = get_workload("BFS", TINY, seed=11)
+    first = model.transform_workload(workload, seed)
+    second = model.transform_workload(workload, seed)
+    assert np.array_equal(first.traffic, second.traffic)
+    assert np.array_equal(first.power, second.power)
+    assert np.all(first.traffic >= 0)
+    assert np.all(np.diag(first.traffic) == np.diag(workload.traffic))
+
+
+@given(model=any_model)
+@SETTINGS
+def test_canonical_key_round_trips(model):
+    parsed = parse_scenario(model.key)
+    assert parsed == model
+    assert parsed.key == model.key
+
+
+@given(model=any_model)
+@SETTINGS
+def test_to_dict_from_dict_round_trips(model):
+    rebuilt = type(model).from_dict(model.to_dict())
+    assert rebuilt == model
+    assert rebuilt.to_dict() == model.to_dict()
+
+
+@given(model=any_model, design_seed=design_seeds, seed=scenario_seeds)
+@SETTINGS
+def test_transform_never_mutates_the_nominal_design(model, design_seed, seed):
+    design = design_for(design_seed)
+    links_before = design.links
+    try:
+        model.transform_design(design, seed)
+    except ScenarioError:
+        pass
+    assert design.links == links_before
+
+
+@given(model=thermal_deratings)
+@SETTINGS
+def test_thermal_transform_scales_only_selected_region(model):
+    from repro.objectives.thermal import ThermalModel
+
+    nominal = ThermalModel(TINY)
+    derated = model.transform_thermal(nominal)
+    ratio = derated.resistances / nominal.resistances
+    assert np.all((np.isclose(ratio, 1.0)) | (np.isclose(ratio, model.factor)))
+    assert np.any(np.isclose(ratio, model.factor))
+
+
+@given(bad_k=st.integers(min_value=-3, max_value=0))
+@SETTINGS
+def test_invalid_parameters_always_raise(bad_k):
+    with pytest.raises(ScenarioError):
+        LinkFailure(k=bad_k)

@@ -1,0 +1,205 @@
+"""Unit tests for the scenario-model transforms."""
+
+import numpy as np
+import pytest
+
+from repro.noc.constraints import is_connected, random_design
+from repro.objectives.thermal import ThermalModel
+from repro.scenarios.models import (
+    IDENTITY,
+    HotspotInjection,
+    Identity,
+    LinkFailure,
+    ScenarioError,
+    ThermalDerating,
+    TrafficMorph,
+    scenario_rng,
+)
+
+
+class TestScenarioRng:
+    def test_deterministic_per_parts(self):
+        a = scenario_rng("link_failure", 7, "design").random(4)
+        b = scenario_rng("link_failure", 7, "design").random(4)
+        assert np.array_equal(a, b)
+
+    def test_distinct_parts_distinct_streams(self):
+        a = scenario_rng("link_failure", 7).random(4)
+        b = scenario_rng("link_failure", 8).random(4)
+        assert not np.array_equal(a, b)
+
+
+class TestIdentity:
+    def test_key_and_flags(self):
+        assert IDENTITY.key == "identity"
+        assert IDENTITY.is_identity
+        assert Identity() == IDENTITY
+
+    def test_hooks_are_no_ops(self, tiny_workload, tiny_designs):
+        design = tiny_designs[0]
+        assert IDENTITY.transform_workload(tiny_workload, 3) is tiny_workload
+        assert IDENTITY.transform_design(design, 3) is design
+        assert IDENTITY.link_load_factors(design, 3) is None
+
+
+class TestLinkFailureRemove:
+    def test_removes_exactly_k_links_and_stays_connected(self, tiny_designs):
+        model = LinkFailure(k=2, mode="remove")
+        for design in tiny_designs:
+            faulted = model.transform_design(design, seed=5)
+            assert faulted.num_links == design.num_links - 2
+            assert set(faulted.links) < set(design.links)
+            assert faulted.placement == design.placement
+            assert is_connected(faulted)
+
+    def test_seeded_and_design_dependent(self, tiny_designs):
+        model = LinkFailure(k=1, mode="remove")
+        a = model.transform_design(tiny_designs[0], seed=5)
+        b = model.transform_design(tiny_designs[0], seed=5)
+        assert a == b
+        seeds = {model.transform_design(tiny_designs[0], seed=s).links for s in range(8)}
+        assert len(seeds) > 1  # different seeds pick different victims
+
+    def test_removing_every_link_raises(self, tiny_designs):
+        design = tiny_designs[0]
+        with pytest.raises(ScenarioError, match="without disconnecting"):
+            LinkFailure(k=design.num_links, mode="remove").transform_design(design, 0)
+
+    def test_no_load_factors_in_remove_mode(self, tiny_designs):
+        assert LinkFailure(k=1, mode="remove").link_load_factors(tiny_designs[0], 0) is None
+
+
+class TestLinkFailureDerate:
+    def test_factors_shape_and_values(self, tiny_designs):
+        design = tiny_designs[0]
+        model = LinkFailure(k=2, mode="derate", derate_factor=0.25)
+        factors = model.link_load_factors(design, seed=9)
+        assert factors.shape == (design.num_links,)
+        assert np.count_nonzero(factors == 4.0) == 2
+        assert np.count_nonzero(factors == 1.0) == design.num_links - 2
+
+    def test_topology_untouched(self, tiny_designs):
+        design = tiny_designs[0]
+        model = LinkFailure(k=2, mode="derate")
+        assert model.transform_design(design, seed=9) is design
+
+    def test_factors_seeded(self, tiny_designs):
+        model = LinkFailure(k=1, mode="derate")
+        a = model.link_load_factors(tiny_designs[0], seed=2)
+        b = model.link_load_factors(tiny_designs[0], seed=2)
+        assert np.array_equal(a, b)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ScenarioError):
+            LinkFailure(k=0)
+        with pytest.raises(ScenarioError):
+            LinkFailure(mode="explode")
+        with pytest.raises(ScenarioError):
+            LinkFailure(mode="derate", derate_factor=0.0)
+        with pytest.raises(ScenarioError):
+            LinkFailure(mode="derate", derate_factor=1.5)
+
+
+class TestThermalDerating:
+    def test_all_region_scales_every_layer(self, tiny_config):
+        nominal = ThermalModel(tiny_config)
+        derated = ThermalDerating(factor=2.0, region="all").transform_thermal(nominal)
+        assert np.allclose(derated.resistances, 2.0 * nominal.resistances)
+
+    def test_upper_region_scales_top_half_only(self, tiny_config):
+        nominal = ThermalModel(tiny_config)
+        derated = ThermalDerating(factor=3.0, region="upper").transform_thermal(nominal)
+        layers = len(nominal.resistances)
+        half = layers // 2
+        assert np.allclose(derated.resistances[:half], nominal.resistances[:half])
+        assert np.allclose(derated.resistances[half:], 3.0 * nominal.resistances[half:])
+
+    def test_parameter_validation(self):
+        with pytest.raises(ScenarioError):
+            ThermalDerating(factor=0.0)
+        with pytest.raises(ScenarioError):
+            ThermalDerating(region="sideways")
+
+
+class TestHotspotInjection:
+    def test_adds_traffic_and_tags_metadata(self, tiny_workload):
+        model = HotspotInjection(intensity=2.0, num_hot=1)
+        morphed = model.transform_workload(tiny_workload, seed=4)
+        assert morphed.traffic.sum() > tiny_workload.traffic.sum()
+        assert np.all(morphed.traffic >= tiny_workload.traffic)
+        assert morphed.metadata["scenario"] == model.key
+        assert morphed.name == tiny_workload.name
+
+    def test_overlay_is_seeded(self, tiny_workload):
+        model = HotspotInjection()
+        a = model.transform_workload(tiny_workload, seed=4)
+        b = model.transform_workload(tiny_workload, seed=4)
+        c = model.transform_workload(tiny_workload, seed=5)
+        assert np.array_equal(a.traffic, b.traffic)
+        assert not np.array_equal(a.traffic, c.traffic)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ScenarioError):
+            HotspotInjection(intensity=0.0)
+        with pytest.raises(ScenarioError):
+            HotspotInjection(num_hot=0)
+
+
+class TestTrafficMorph:
+    def test_scale_changes_total_volume(self, tiny_workload):
+        morphed = TrafficMorph(scale=2.0).transform_workload(tiny_workload, seed=0)
+        assert morphed.traffic.sum() == pytest.approx(2.0 * tiny_workload.traffic.sum())
+
+    def test_skew_preserves_volume_and_sparsity(self, tiny_workload):
+        morphed = TrafficMorph(skew=2.0).transform_workload(tiny_workload, seed=0)
+        assert morphed.traffic.sum() == pytest.approx(tiny_workload.traffic.sum())
+        assert np.array_equal(morphed.traffic > 0, tiny_workload.traffic > 0)
+        # skew > 1 concentrates volume: the largest entry grows relative to total
+        assert morphed.traffic.max() > tiny_workload.traffic.max()
+
+    def test_seed_independent(self, tiny_workload):
+        model = TrafficMorph(scale=1.5, skew=0.5)
+        a = model.transform_workload(tiny_workload, seed=1)
+        b = model.transform_workload(tiny_workload, seed=99)
+        assert np.array_equal(a.traffic, b.traffic)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ScenarioError):
+            TrafficMorph(scale=0.0)
+        with pytest.raises(ScenarioError):
+            TrafficMorph(skew=-1.0)
+
+
+class TestCanonicalKeys:
+    def test_key_lists_every_field_in_order(self):
+        assert LinkFailure(k=2).key == "link_failure(k=2,mode=remove,derate_factor=0.5)"
+        assert ThermalDerating().key == "thermal_derating(factor=1.5,region=all)"
+        assert HotspotInjection().key == "hotspot_injection(intensity=1.0,num_hot=2)"
+        assert TrafficMorph().key == "traffic_morph(scale=1.0,skew=1.0)"
+
+    def test_to_dict_from_dict_round_trip(self):
+        for model in (
+            Identity(),
+            LinkFailure(k=3, mode="derate", derate_factor=0.125),
+            ThermalDerating(factor=2.5, region="upper"),
+            HotspotInjection(intensity=0.5, num_hot=3),
+            TrafficMorph(scale=0.5, skew=2.0),
+        ):
+            assert type(model).from_dict(model.to_dict()) == model
+
+    def test_from_dict_rejects_wrong_kind_and_bad_params(self):
+        with pytest.raises(ScenarioError, match="does not match"):
+            LinkFailure.from_dict({"kind": "traffic_morph"})
+        with pytest.raises(ScenarioError, match="invalid parameters"):
+            LinkFailure.from_dict({"kind": "link_failure", "bogus": 1})
+
+
+def test_many_random_designs_survive_remove(tiny_config):
+    """remove mode never silently returns a disconnected topology."""
+    rng = np.random.default_rng(12)
+    model = LinkFailure(k=1, mode="remove")
+    for _ in range(25):
+        design = random_design(tiny_config, rng)
+        faulted = model.transform_design(design, seed=3)
+        assert is_connected(faulted)
+        assert faulted.num_links == design.num_links - 1

@@ -1,0 +1,128 @@
+"""Tests for the scenario registry and canonical-key parser."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import pytest
+
+from repro.scenarios.models import (
+    IDENTITY,
+    LinkFailure,
+    ScenarioError,
+    ScenarioModel,
+    ThermalDerating,
+)
+from repro.scenarios.registry import (
+    ScenarioRegistry,
+    canonical_scenario_key,
+    default_registry,
+    list_scenarios,
+    parse_scenario,
+    scenario_from_dict,
+)
+
+
+class TestDefaultRegistry:
+    def test_lists_all_builtin_kinds(self):
+        assert list_scenarios() == [
+            "hotspot_injection",
+            "identity",
+            "link_failure",
+            "thermal_derating",
+            "traffic_morph",
+        ]
+
+    def test_lookup_is_case_insensitive(self):
+        assert default_registry().get("LINK_FAILURE") is LinkFailure
+        assert "Thermal_Derating" in default_registry()
+
+    def test_unknown_kind_lists_available(self):
+        with pytest.raises(KeyError, match="unknown scenario model 'meteor_strike'"):
+            default_registry().get("meteor_strike")
+
+
+class TestCustomRegistration:
+    @dataclass(frozen=True)
+    class PowerBrownout(ScenarioModel):
+        kind: ClassVar[str] = "power_brownout"
+        droop: float = 0.1
+
+    def test_register_and_parse(self):
+        registry = ScenarioRegistry()
+        registry.register(self.PowerBrownout)
+        assert registry.get("power_brownout") is self.PowerBrownout
+        assert registry.kinds() == ["power_brownout"]
+
+    def test_duplicate_registration_shares_workload_registry_contract(self):
+        registry = ScenarioRegistry()
+        registry.register(self.PowerBrownout)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(self.PowerBrownout)
+        registry.register(self.PowerBrownout, overwrite=True)
+
+
+class TestParseScenario:
+    def test_bare_kind_uses_defaults(self):
+        assert parse_scenario("identity") == IDENTITY
+        assert parse_scenario("link_failure") == LinkFailure()
+
+    def test_parameters_are_coerced(self):
+        model = parse_scenario("link_failure(k=2,mode=derate,derate_factor=0.25)")
+        assert model == LinkFailure(k=2, mode="derate", derate_factor=0.25)
+        assert isinstance(model.k, int)
+        assert isinstance(model.derate_factor, float)
+
+    def test_whitespace_tolerated(self):
+        assert parse_scenario(" thermal_derating( factor = 2.0 , region = upper ) ") == (
+            ThermalDerating(factor=2.0, region="upper")
+        )
+
+    def test_model_instances_pass_through(self):
+        model = LinkFailure(k=3)
+        assert parse_scenario(model) is model
+
+    def test_round_trips_canonical_key(self):
+        for spec in (
+            "identity",
+            "link_failure(k=2)",
+            "thermal_derating(factor=2.0,region=lower)",
+            "hotspot_injection(intensity=1.5)",
+            "traffic_morph(skew=2.0)",
+        ):
+            model = parse_scenario(spec)
+            assert parse_scenario(model.key) == model
+
+    def test_malformed_keys_raise_scenario_error(self):
+        with pytest.raises(ScenarioError, match="malformed scenario key"):
+            parse_scenario("link_failure(k=1")
+        with pytest.raises(ScenarioError, match="expected name=value"):
+            parse_scenario("link_failure(2)")
+
+    def test_unknown_kind_raises_key_error(self):
+        with pytest.raises(KeyError, match="unknown scenario model"):
+            parse_scenario("meteor_strike(k=1)")
+
+    def test_unknown_parameter_raises_scenario_error(self):
+        with pytest.raises(ScenarioError, match="invalid parameters"):
+            parse_scenario("link_failure(links=1)")
+
+    def test_invalid_parameter_value_raises_scenario_error(self):
+        with pytest.raises(ScenarioError, match="positive integer"):
+            parse_scenario("link_failure(k=0)")
+
+
+class TestSerialisationHelpers:
+    def test_scenario_from_dict_round_trip(self):
+        for model in (IDENTITY, LinkFailure(k=2, mode="derate"), ThermalDerating(region="upper")):
+            assert scenario_from_dict(model.to_dict()) == model
+
+    def test_scenario_from_dict_requires_kind(self):
+        with pytest.raises(ScenarioError, match="missing its 'kind'"):
+            scenario_from_dict({"k": 1})
+
+    def test_canonical_scenario_key_completes_defaults(self):
+        assert canonical_scenario_key("link_failure(k=2)") == (
+            "link_failure(k=2,mode=remove,derate_factor=0.5)"
+        )
+        assert canonical_scenario_key("identity") == "identity"
+        assert canonical_scenario_key(LinkFailure()) == LinkFailure().key

@@ -28,7 +28,7 @@ class TestList:
 
 class TestHelpEpilogs:
     @pytest.mark.parametrize("command", [[], ["run"], ["campaign"], ["tables"],
-                                         ["compact"], ["list"]])
+                                         ["compact"], ["robustness"], ["list"]])
     def test_help_points_at_the_docs(self, command, capsys):
         with pytest.raises(SystemExit) as excinfo:
             main([*command, "--help"])
@@ -219,3 +219,75 @@ class TestCampaignAndTables:
         }))
         assert main(["tables", "--output-dir", str(tmp_path)]) == 1
         assert "no completed shards" in capsys.readouterr().err
+
+
+class TestScenarioFlagsAndRobustness:
+    FAULT = "link_failure(k=1,mode=remove)"
+    CANONICAL = "link_failure(k=1,mode=remove,derate_factor=0.5)"
+
+    def _faulted_campaign(self, campaign_dir):
+        return main([
+            "campaign", "--preset", "smoke", "--apps", "BFS",
+            "--algorithms", "MOEA/D", "NSGA-II", "--evaluations", "30",
+            "--scenarios", "identity", self.FAULT,
+            "--output-dir", str(campaign_dir), "--no-progress",
+        ])
+
+    def test_campaign_scenarios_flag_widens_the_grid(self, campaign_dir, capsys):
+        assert self._faulted_campaign(campaign_dir) == 0
+        out = capsys.readouterr().out
+        assert "2 fault scenarios" in out
+        assert "executed 4 cells" in out
+        manifest = json.loads((campaign_dir / "manifest.json").read_text())
+        faulted = [c for c in manifest["cells"] if "scenario" in c]
+        assert len(faulted) == 2
+        assert {c["scenario"] for c in faulted} == {self.CANONICAL}
+
+    def test_robustness_renders_map_and_certificate(self, campaign_dir, capsys):
+        assert self._faulted_campaign(campaign_dir) == 0
+        capsys.readouterr()
+        assert main(["robustness", "--output-dir", str(campaign_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity map" in out
+        assert "Robustness certificate" in out
+        assert "Worst case:" in out
+        assert self.CANONICAL in out
+
+    def test_certificate_only_skips_the_map(self, campaign_dir, capsys):
+        assert self._faulted_campaign(campaign_dir) == 0
+        capsys.readouterr()
+        assert main([
+            "robustness", "--output-dir", str(campaign_dir),
+            "--certificate-only", "--quantiles", "0.5", "0.75",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sensitivity map" not in out
+        assert "q75" in out
+
+    def test_run_with_fault_scenarios_fails_cleanly(self, capsys):
+        code = main([
+            "run", "--preset", "smoke", "--apps", "BFS", "--algorithms", "nsga2",
+            "--evaluations", "30", "--scenarios", "identity", self.FAULT,
+            "--no-progress",
+        ])
+        assert code == 2
+        assert "campaign mode" in capsys.readouterr().err
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main([
+            "campaign", "--preset", "smoke", "--scenarios", "meteor_strike",
+            "--output-dir", "unused", "--no-progress",
+        ])
+        assert code == 2
+        assert "unknown scenario model" in capsys.readouterr().err
+
+    def test_robustness_without_identity_cells_fails_cleanly(self, campaign_dir, capsys):
+        assert main([
+            "campaign", "--preset", "smoke", "--apps", "BFS",
+            "--algorithms", "NSGA-II", "--evaluations", "30",
+            "--scenarios", self.FAULT,
+            "--output-dir", str(campaign_dir), "--no-progress",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["robustness", "--output-dir", str(campaign_dir)]) == 2
+        assert "no completed 'identity' cells" in capsys.readouterr().err

@@ -307,3 +307,68 @@ class TestThirdPartyOptimizer:
         shard = outcome.runs[("BFS", 3)]["RANDOM-RESTART"]
         assert shard.algorithm == "RANDOM-RESTART"
         assert shard.evaluations == 40
+
+
+class TestScenarios:
+    FAULT = "link_failure(k=1,mode=remove,derate_factor=0.5)"
+
+    def test_scenarios_round_trip_canonicalised(self):
+        study = smoke_study("nsga2").scenarios("identity", "link_failure(k=1)")
+        payload = study.to_dict()
+        assert payload["scenarios"] == ["identity", self.FAULT]
+        assert Study.from_dict(payload).to_dict()["scenarios"] == payload["scenarios"]
+
+    def test_unset_scenarios_stay_absent(self):
+        assert "scenarios" not in smoke_study("nsga2").to_dict()
+
+    def test_unknown_scenario_kind_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario model"):
+            Study.from_dict({"scenarios": ["meteor_strike"]})
+
+    def test_invalid_scenario_parameters_rejected(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            smoke_study("nsga2").scenarios("link_failure(k=0)")
+
+    def test_duplicate_scenarios_rejected_at_experiment_build(self):
+        study = smoke_study("nsga2").scenarios("identity", "link_failure(k=1)", "link_failure(k=1)")
+        with pytest.raises(ValueError, match="duplicate scenario models"):
+            study.experiment()
+
+    def test_inline_run_refuses_fault_scenarios(self):
+        study = smoke_study("nsga2").scenarios("identity", self.FAULT)
+        with pytest.raises(ValueError, match="campaign mode"):
+            study.run()
+
+    def test_campaign_with_scenario_axis_and_rollup_analytics(self, tmp_path):
+        study = (
+            smoke_study("nsga2")
+            .evaluations(40)
+            .scenarios("identity", self.FAULT)
+            .campaign(tmp_path)
+        )
+        result = study.run()
+        assert len(result.campaign.executed) == 2  # identity + faulted cell
+        certificate = result.robustness()
+        assert len(certificate.records) == 1
+        assert certificate.records[0].scenario == self.FAULT
+        sensitivity = result.sensitivity()
+        assert {e.scenario for e in sensitivity.entries} == {self.FAULT}
+
+    def test_robustness_requires_campaign_mode(self):
+        result = smoke_study("nsga2").run()
+        with pytest.raises(ValueError, match="campaign"):
+            result.robustness()
+        with pytest.raises(ValueError, match="campaign"):
+            result.sensitivity()
+
+    def test_scenarios_key_accepted_in_study_files(self, tmp_path):
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({
+            "preset": "smoke",
+            "applications": ["BFS"],
+            "algorithms": ["NSGA-II"],
+            "evaluations": 40,
+            "scenarios": ["identity", "link_failure(k=1)"],
+        }))
+        study = Study.from_file(config)
+        assert study.experiment().scenario_models == ("identity", self.FAULT)

@@ -1,0 +1,88 @@
+"""Tests for the shared NamedRegistry helper and its two front-line users.
+
+The duplicate/unknown error contract is asserted once against NamedRegistry
+directly, then again through the workload and scenario registries, which both
+delegate to it — a regression here means the registries drifted apart.
+"""
+
+import pytest
+
+from repro.scenarios.registry import ScenarioRegistry
+from repro.scenarios.models import Identity
+from repro.utils.registry import NamedRegistry
+from repro.workloads.registry import WorkloadRegistry
+
+
+class TestNamedRegistry:
+    def test_register_get_round_trip(self):
+        registry: NamedRegistry[int] = NamedRegistry("thing")
+        registry.register("a", 1)
+        assert registry.get("a") == 1
+        assert "a" in registry and "b" not in registry
+        assert len(registry) == 1
+
+    def test_duplicate_raises_unless_overwrite(self):
+        registry: NamedRegistry[int] = NamedRegistry("thing")
+        registry.register("a", 1)
+        with pytest.raises(ValueError, match="thing 'a' is already registered"):
+            registry.register("a", 2)
+        registry.register("a", 2, overwrite=True)
+        assert registry.get("a") == 2
+
+    def test_unknown_lookup_lists_available_sorted(self):
+        registry: NamedRegistry[int] = NamedRegistry("thing")
+        registry.register("b", 2)
+        registry.register("a", 1)
+        with pytest.raises(KeyError, match=r"unknown thing 'c'; available: \['a', 'b'\]"):
+            registry.get("c")
+
+    def test_normalizer_applies_to_registration_and_lookup(self):
+        registry: NamedRegistry[int] = NamedRegistry("thing", normalize=str.upper)
+        registry.register("abc", 1)
+        assert registry.get("ABC") == 1
+        assert registry.canonical("aBc") == "ABC"
+        assert "abc" in registry
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("ABC", 2)
+
+    def test_names_and_iteration_sorted(self):
+        registry: NamedRegistry[int] = NamedRegistry("thing")
+        for name in ("z", "a", "m"):
+            registry.register(name, 0)
+        assert registry.names() == ["a", "m", "z"]
+        assert list(registry) == ["a", "m", "z"]
+
+    def test_non_string_membership_is_false(self):
+        registry: NamedRegistry[int] = NamedRegistry("thing")
+        registry.register("1", 1)
+        assert 1 not in registry
+
+
+class TestContractSharedByRealRegistries:
+    """Both registries surface NamedRegistry's exact messages."""
+
+    def _factory(self, config, seed):  # pragma: no cover - never called
+        raise AssertionError
+
+    def test_workload_registry_duplicate_message(self):
+        registry = WorkloadRegistry()
+        registry.register("custom", self._factory)
+        # The message echoes the caller's spelling; the collision is canonical.
+        with pytest.raises(ValueError, match="application 'CUSTOM' is already registered"):
+            registry.register("CUSTOM", self._factory)
+
+    def test_workload_registry_unknown_message(self, tiny_config):
+        registry = WorkloadRegistry()
+        with pytest.raises(KeyError, match="unknown application 'missing'; available:"):
+            registry.get("missing", tiny_config)
+
+    def test_scenario_registry_duplicate_message(self):
+        registry = ScenarioRegistry()
+        registry.register(Identity)
+        with pytest.raises(ValueError, match="scenario model 'identity' is already registered"):
+            registry.register(Identity)
+
+    def test_scenario_registry_unknown_message(self):
+        registry = ScenarioRegistry()
+        with pytest.raises(KeyError, match="unknown scenario model 'identity'; available:"):
+            registry.get("identity")

@@ -6,13 +6,17 @@ import pytest
 from repro.workloads import traffic_patterns as patterns
 
 
+GENERATORS = [
+    patterns.cpu_llc_requests,
+    patterns.gpu_llc_streaming,
+    patterns.gpu_neighbor_sharing,
+    patterns.hotspot,
+    patterns.cpu_gpu_coordination,
+    patterns.uniform_random,
+]
+
 ALL_PATTERNS = [
-    lambda config, rng: patterns.cpu_llc_requests(config, 5.0, rng),
-    lambda config, rng: patterns.gpu_llc_streaming(config, 5.0, rng),
-    lambda config, rng: patterns.gpu_neighbor_sharing(config, 5.0, rng),
-    lambda config, rng: patterns.hotspot(config, 5.0, rng),
-    lambda config, rng: patterns.cpu_gpu_coordination(config, 5.0, rng),
-    lambda config, rng: patterns.uniform_random(config, 5.0, rng),
+    (lambda config, rng, gen=gen: gen(config, 5.0, rng)) for gen in GENERATORS
 ]
 
 
@@ -30,7 +34,32 @@ class TestCommonProperties:
     def test_deterministic_for_seeded_rng(self, small_config, factory):
         a = factory(small_config, np.random.default_rng(3))
         b = factory(small_config, np.random.default_rng(3))
-        assert np.allclose(a, b)
+        # Exact, not approximate: seeded generators must be bit-reproducible
+        # (scenario transforms and cache keys depend on it).
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_different_seeds_differ(self, small_config, generator):
+        a = generator(small_config, 5.0, np.random.default_rng(3))
+        b = generator(small_config, 5.0, np.random.default_rng(4))
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_intensity_scales_volume_monotonically(self, small_config, generator):
+        """More intensity never means less traffic (same seeded stream)."""
+        totals = [
+            generator(small_config, intensity, np.random.default_rng(5)).sum()
+            for intensity in (1.0, 2.0, 4.0, 8.0)
+        ]
+        assert totals[0] > 0
+        assert all(lo < hi for lo, hi in zip(totals, totals[1:]))
+
+    @pytest.mark.parametrize("generator", GENERATORS)
+    def test_zero_diagonal_on_tiny_platform_too(self, tiny_config, generator):
+        traffic = generator(tiny_config, 5.0, np.random.default_rng(6))
+        assert traffic.shape == (tiny_config.num_tiles, tiny_config.num_tiles)
+        assert np.all(np.diag(traffic) == 0)
+        assert np.all(traffic >= 0)
 
 
 class TestClassStructure:
