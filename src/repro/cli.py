@@ -255,6 +255,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         resume=settings["resume"],
         parallel_evaluation=settings["parallel_evaluation"],
         event_log=settings.get("event_log", True),
+        shared_routing_cache=settings.get("shared_routing_cache", True),
+        routing_warm_start=settings.get("routing_warm_start", False),
     )
     campaign = study.campaign_config()
     experiment = campaign.experiment

@@ -55,6 +55,16 @@ class NocDesignProblem(Problem):
         nominal design space while evaluation answers for the degraded one.
     scenario_seed:
         Seed for the scenario model's deterministic streams.
+    routing_engine:
+        Optional externally-owned
+        :class:`~repro.noc.routing_engine.RoutingEngine` shared with other
+        problems (e.g. a campaign's
+        :class:`~repro.noc.routing_engine.RoutingEnginePool`); ``None`` with
+        ``routing_cache=True`` keeps the historical private engine.
+    route_store_path:
+        Optional directory of a disk-backed
+        :class:`~repro.noc.route_store.RouteStore` warm-starting routing
+        across processes (evaluation-pool workers, campaign cells).
     """
 
     def __init__(
@@ -67,6 +77,8 @@ class NocDesignProblem(Problem):
         routing_cache: bool = True,
         scenario_model: "ScenarioModel | str | None" = None,
         scenario_seed: int = 0,
+        routing_engine=None,
+        route_store_path: "str | None" = None,
     ):
         if isinstance(scenario, int):
             scenario = scenario_for(scenario)
@@ -85,6 +97,8 @@ class NocDesignProblem(Problem):
             routing_cache=routing_cache,
             scenario_model=scenario_model,
             scenario_seed=scenario_seed,
+            routing_engine=routing_engine,
+            route_store_path=route_store_path,
         )
         self.moves = MoveGenerator(self.config, workload)
         self.checker = ConstraintChecker(self.config)

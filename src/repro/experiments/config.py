@@ -118,15 +118,18 @@ class ExperimentConfig:
 
 #: Platform size (in tiles) from which campaign cells switch the objective
 #: evaluator's batch path to process-pool workers.  The threshold tracks the
-#: *measured* break-even, not intuition: since the batch-evaluation engine was
-#: vectorized, a 32-design 5-objective miss batch evaluates in ~20 ms serially
-#: on the paper's 64-tile ``paper_4x4x4`` platform and the pool path is
-#: *slower* there (~0.4x at 1 worker, ~0.1x at 2-4 — per-task design pickling
-#: dominates; see ``bench_components.run_parallel_worker_sweep`` /
-#: ``BENCH_routing.json`` and ``docs/performance.md``).  The old threshold of
-#: 48 tiles predated vectorization and auto-enabled the pool exactly where it
-#: hurt.  256 tiles (an 8x8x4 grid) is where per-design routing is projected
-#: ~50x costlier and the pool is expected to pay for itself; re-measure there
+#: *measured* break-even, not intuition.  The fork-once pool (persistent
+#: primed workers, compact deduplicated chunk payloads, route-store
+#: warm-starts) roughly halved the old per-task transport cost, but a
+#: vectorized serial batch backed by the in-memory routing engine still wins
+#: below 256 tiles: at 64 tiles a repair-bound 32-design batch runs ~0.6-0.8x
+#: serial on one core, and placement-heavy broods are served from the engine
+#: cache faster than any inter-process round-trip at every size.  256 tiles
+#: (an 8x8x4 grid) is where repair/miss-bound batches carry enough Dijkstra
+#: work per task for the pool to win on multi-core machines — enforced by the
+#: CI perf gate ``test_big_grid_pool_speedup`` (>= 1.5x vs serial); see
+#: ``bench_components.run_big_grid_bench``, the ``big_grid/*`` runs in
+#: ``BENCH_routing.json`` and ``docs/performance.md``.  Re-measure there
 #: before lowering this.
 PARALLEL_EVALUATION_MIN_TILES: int = 256
 
@@ -167,6 +170,22 @@ class CampaignConfig:
         default); ``False`` is the escape hatch selecting the historical
         fresh-build-per-design path.  Each cell's hit/miss/repair counters are
         recorded in its shard and summarised in the campaign manifest.
+    shared_routing_cache:
+        Shares one :class:`~repro.noc.routing_engine.RoutingEnginePool`
+        across every *inline* cell (``max_workers == 1``), so topologies one
+        cell solved are cache hits for the next — the initial random
+        population's all-pairs builds otherwise repeat per cell.  Cached
+        tables are read-only and bit-identical to fresh builds, so shards
+        differ from a cold-start campaign only in their cache counters.
+        Pooled cells (``max_workers > 1``) each live in their own process and
+        are unaffected; ``routing_warm_start`` is the cross-process analogue.
+    routing_warm_start:
+        Persists routing solutions to a ``routing_store`` directory next to
+        the manifest (a bounded, content-keyed
+        :class:`~repro.noc.route_store.RouteStore`), warm-starting cells in
+        *other* processes — pool workers and resumed campaigns — from builds
+        a sibling already paid for.  Off by default: the store writes files
+        during evaluation, which small inline campaigns do not need.
     event_log:
         Appends every campaign event (shard starts/completions and, from
         every cell — pooled or inline — the per-iteration optimiser events)
@@ -188,6 +207,8 @@ class CampaignConfig:
     resume: bool = True
     parallel_evaluation: bool | None = None
     routing_cache: bool = True
+    shared_routing_cache: bool = True
+    routing_warm_start: bool = False
     event_log: bool = True
     max_evaluations: int | None = None
 

@@ -209,73 +209,74 @@ def random_link_placement(config: PlatformConfig, rng: RngLike = None) -> tuple[
     planar_candidates = candidate_planar_links(config)
     vertical_candidates = candidate_vertical_links(config)
 
-    degrees = np.zeros(config.num_tiles, dtype=np.int64)
-    chosen: set[Link] = set()
-    planar_used = 0
-    vertical_used = 0
-
-    # -- random spanning tree (randomised Prim) ------------------------- #
     by_endpoint: dict[int, list[Link]] = {t: [] for t in range(config.num_tiles)}
     for link in planar_candidates + vertical_candidates:
         by_endpoint[link.a].append(link)
         by_endpoint[link.b].append(link)
 
-    root = int(rng.integers(config.num_tiles))
-    in_tree = {root}
-    frontier: list[Link] = list(by_endpoint[root])
-    while len(in_tree) < config.num_tiles:
-        if not frontier:
-            raise RuntimeError("candidate link set cannot connect all tiles")
-        idx = int(rng.integers(len(frontier)))
-        link = frontier.pop(idx)
-        inside_a, inside_b = link.a in in_tree, link.b in in_tree
-        if inside_a == inside_b:
-            continue
-        if degrees[link.a] >= config.max_router_degree or degrees[link.b] >= config.max_router_degree:
-            continue
-        kind = link_kind(link, grid)
-        if kind is LinkKind.PLANAR and planar_used >= config.num_planar_links:
-            continue
-        if kind is LinkKind.VERTICAL and vertical_used >= config.num_vertical_links:
-            continue
-        chosen.add(link)
-        degrees[link.a] += 1
-        degrees[link.b] += 1
-        if kind is LinkKind.PLANAR:
-            planar_used += 1
-        else:
-            vertical_used += 1
-        new_node = link.b if inside_a else link.a
-        in_tree.add(new_node)
-        frontier.extend(by_endpoint[new_node])
+    # Degree caps can occasionally starve the budget fill; retry with a
+    # different spanning tree rather than returning an infeasible design.
+    # The retry is a loop (not recursion) so tightly-budgeted big platforms
+    # cannot overflow the interpreter stack before a feasible draw lands.
+    while True:
+        degrees = np.zeros(config.num_tiles, dtype=np.int64)
+        chosen: set[Link] = set()
+        planar_used = 0
+        vertical_used = 0
 
-    # -- fill the remaining budgets -------------------------------------- #
-    def fill(candidates: list[Link], remaining: int) -> int:
-        order = rng.permutation(len(candidates))
-        added = 0
-        for idx in order:
-            if added >= remaining:
-                break
-            link = candidates[int(idx)]
-            if link in chosen:
+        # -- random spanning tree (randomised Prim) --------------------- #
+        root = int(rng.integers(config.num_tiles))
+        in_tree = {root}
+        frontier: list[Link] = list(by_endpoint[root])
+        while len(in_tree) < config.num_tiles:
+            if not frontier:
+                raise RuntimeError("candidate link set cannot connect all tiles")
+            idx = int(rng.integers(len(frontier)))
+            link = frontier.pop(idx)
+            inside_a, inside_b = link.a in in_tree, link.b in in_tree
+            if inside_a == inside_b:
                 continue
             if degrees[link.a] >= config.max_router_degree or degrees[link.b] >= config.max_router_degree:
+                continue
+            kind = link_kind(link, grid)
+            if kind is LinkKind.PLANAR and planar_used >= config.num_planar_links:
+                continue
+            if kind is LinkKind.VERTICAL and vertical_used >= config.num_vertical_links:
                 continue
             chosen.add(link)
             degrees[link.a] += 1
             degrees[link.b] += 1
-            added += 1
-        return added
+            if kind is LinkKind.PLANAR:
+                planar_used += 1
+            else:
+                vertical_used += 1
+            new_node = link.b if inside_a else link.a
+            in_tree.add(new_node)
+            frontier.extend(by_endpoint[new_node])
 
-    planar_used += fill(planar_candidates, config.num_planar_links - planar_used)
-    vertical_used += fill(vertical_candidates, config.num_vertical_links - vertical_used)
+        # -- fill the remaining budgets ---------------------------------- #
+        def fill(candidates: list[Link], remaining: int) -> int:
+            order = rng.permutation(len(candidates))
+            added = 0
+            for idx in order:
+                if added >= remaining:
+                    break
+                link = candidates[int(idx)]
+                if link in chosen:
+                    continue
+                if degrees[link.a] >= config.max_router_degree or degrees[link.b] >= config.max_router_degree:
+                    continue
+                chosen.add(link)
+                degrees[link.a] += 1
+                degrees[link.b] += 1
+                added += 1
+            return added
 
-    if planar_used != config.num_planar_links or vertical_used != config.num_vertical_links:
-        # Degree caps can very occasionally starve the fill; relax by retrying
-        # with a different spanning tree rather than returning an infeasible
-        # design.
-        return random_link_placement(config, rng)
-    return tuple(sorted(chosen))
+        planar_used += fill(planar_candidates, config.num_planar_links - planar_used)
+        vertical_used += fill(vertical_candidates, config.num_vertical_links - vertical_used)
+
+        if planar_used == config.num_planar_links and vertical_used == config.num_vertical_links:
+            return tuple(sorted(chosen))
 
 
 def random_design(config: PlatformConfig, rng: RngLike = None) -> NocDesign:

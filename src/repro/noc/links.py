@@ -37,6 +37,12 @@ class Link:
     b: int
 
     def __post_init__(self) -> None:
+        # Canonicalise to Python ints: numpy endpoints leak in from array
+        # code, and anything keyed on a link's textual form (e.g. the
+        # scenario RNG streams hashing str(design.key())) must not depend
+        # on whether a caller passed np.int64(4) or 4.
+        object.__setattr__(self, "a", int(self.a))
+        object.__setattr__(self, "b", int(self.b))
         if self.a == self.b:
             raise ValueError("a link cannot connect a tile to itself")
         if self.a > self.b:

@@ -202,6 +202,28 @@ class PlatformConfig:
         )
 
     @classmethod
+    def big_8x8x4(cls) -> "PlatformConfig":
+        """A 256-tile platform for big-grid profiling (8x8 per layer, 4 layers).
+
+        Scales the paper platform 4x in tile count while keeping its flavour:
+        1/8 of the tiles are CPUs, a quarter are LLCs placed on edge tiles,
+        and the link budgets keep the same links-per-tile density (~1.75
+        planar, ~0.6 vertical).  The vertical budget stays well below the 192
+        single-column candidates so the degree-capped random fill always
+        terminates.
+        """
+        return cls(
+            n=8,
+            layers=4,
+            num_cpus=32,
+            num_gpus=160,
+            num_llcs=64,
+            num_planar_links=448,
+            num_vertical_links=160,
+            name="big-8x8x4",
+        )
+
+    @classmethod
     def small_3x3x3(cls) -> "PlatformConfig":
         """A 27-tile platform matching the Fig. 1 illustration; used by the reduced benchmarks."""
         return cls(

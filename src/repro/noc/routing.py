@@ -247,12 +247,46 @@ class RoutingTables:
         updated._distance = distance
         updated._predecessors = predecessors
         updated._reset_lazy()
-        # Adopting the parent's batch tables only pays when few sources were
-        # re-routed; past that, the lazy full sweep is just as fast and the
-        # adoption bookkeeping (row masking, column remap) is pure overhead.
-        if rows.size <= 0.25 * self.num_tiles:
+        # Adoption splices surviving parent rows block-wise (no global sort),
+        # so it wins whenever any source keeps its routes; with every source
+        # re-routed there is nothing to splice and the lazy sweep is exact.
+        if rows.size < self.num_tiles:
             updated._adopt_pair_tables(self, affected)
         return updated
+
+    # ------------------------------------------------------------------ #
+    # State round trip (disk warm-start stores)
+    # ------------------------------------------------------------------ #
+    def table_state(self) -> dict[str, np.ndarray]:
+        """The arrays that determine every route: distance + predecessors.
+
+        Together with the link set (and grid) these reconstruct the instance
+        exactly via :meth:`from_state`; batch structures are not part of the
+        state because they rebuild deterministically from the predecessors.
+        """
+        return {"distance": self._distance, "predecessors": self._predecessors}
+
+    @classmethod
+    def from_state(
+        cls,
+        links: "Sequence[Link] | Iterable[Link]",
+        num_tiles: int,
+        grid: Grid3D,
+        distance: np.ndarray,
+        predecessors: np.ndarray,
+    ) -> "RoutingTables":
+        """Rebuild tables from a :meth:`table_state` snapshot without Dijkstra.
+
+        The caller vouches that ``distance``/``predecessors`` came from tables
+        built for exactly this link set; the result is bit-identical to the
+        instance that produced the snapshot (and therefore to a fresh build).
+        """
+        tables = object.__new__(cls)
+        tables._setup_static(tuple(sorted(links)), int(num_tiles), grid)
+        tables._distance = np.ascontiguousarray(distance, dtype=np.float64)
+        tables._predecessors = np.ascontiguousarray(predecessors, dtype=np.int64)
+        tables._reset_lazy()
+        return tables
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -439,14 +473,76 @@ class RoutingTables:
         self._pair_hops.setflags(write=False)
         self._pair_lengths.setflags(write=False)
 
+    @staticmethod
+    def _spliced_csr(
+        parent: csr_matrix,
+        affected: np.ndarray,
+        num_tiles: int,
+        col_remap: "np.ndarray | None",
+        new_rows: np.ndarray,
+        new_cols: np.ndarray,
+        num_cols: int,
+    ) -> csr_matrix:
+        """Canonical CSR from kept parent rows plus re-swept replacement rows.
+
+        All ``num_tiles`` pair rows of an unaffected source are consecutive in
+        the source-major row order, so each run of unaffected sources is one
+        contiguous block of the parent's index array — kept entries move with
+        a handful of slice copies instead of per-entry gathers.  In-row order
+        survives the move because the column remap is monotone over surviving
+        columns (both link-key arrays are ascending).  Replacement rows arrive
+        as unsorted entry lists and are the only part that pays a sort.  The
+        result is bit-identical to :meth:`_canonical_csr` over the union of
+        the entries.
+        """
+        num_rows = parent.shape[0]
+        parent_counts = np.diff(parent.indptr)
+        new_counts = np.bincount(new_rows, minlength=num_rows)
+        keep_row = np.repeat(~affected, num_tiles)
+        counts = np.where(keep_row, parent_counts, new_counts)
+        indptr = np.zeros(num_rows + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        unaffected = np.flatnonzero(~affected)
+        if unaffected.size:
+            breaks = np.flatnonzero(np.diff(unaffected) > 1)
+            run_starts = np.r_[unaffected[0], unaffected[breaks + 1]]
+            run_ends = np.r_[unaffected[breaks], unaffected[-1]] + 1
+            parent_indptr = parent.indptr
+            for start, end in zip(run_starts.tolist(), run_ends.tolist()):
+                block = parent.indices[
+                    parent_indptr[start * num_tiles] : parent_indptr[end * num_tiles]
+                ]
+                if col_remap is not None:
+                    block = col_remap[block]
+                indices[indptr[start * num_tiles] : indptr[end * num_tiles]] = block
+        if new_rows.size:
+            # One combined scalar key sorts the replacement entries into
+            # canonical order; their within-row rank then places them.
+            key = np.sort(new_rows * np.int64(num_cols) + new_cols)
+            sorted_rows = key // num_cols
+            starts = np.zeros(num_rows + 1, dtype=np.int64)
+            np.cumsum(new_counts, out=starts[1:])
+            rank = np.arange(sorted_rows.size, dtype=np.int64) - starts[sorted_rows]
+            indices[indptr[sorted_rows] + rank] = key % num_cols
+        if col_remap is not None:
+            assert indices.size == 0 or indices.min() >= 0, (
+                "route of an unaffected source crossed a removed link"
+            )
+        return csr_matrix(
+            (np.ones(indices.size, dtype=np.float64), indices, indptr),
+            shape=(num_rows, num_cols),
+        )
+
     def _adopt_pair_tables(self, parent: "RoutingTables", affected: np.ndarray) -> None:
         """Repair the batch structures from a parent's, re-sweeping only affected rows.
 
         An unaffected source keeps its canonical routes, and those routes
-        never traverse a removed link, so its incidence entries survive with
-        the link columns remapped to the new link indexing.  Affected sources
-        are re-swept from the repaired predecessors.  No-op (tables stay
-        lazy) when the parent never built its batch structures.
+        never traverse a removed link, so its incidence rows survive verbatim
+        with the link columns remapped to the new link indexing; they are
+        spliced row-block-wise around the re-swept rows of affected sources
+        (:meth:`_spliced_csr`) instead of re-sorting every entry.  No-op
+        (tables stay lazy) when the parent never built its batch structures.
         """
         if parent._pair_links is None:
             return
@@ -459,31 +555,22 @@ class RoutingTables:
             old_to_new = np.where(self._link_keys[positions] == parent._link_keys, positions, -1)
         else:
             old_to_new = np.full(parent.num_links, -1, dtype=np.int64)
-        keep = ~affected
-
-        def kept_entries(matrix: csr_matrix) -> tuple[np.ndarray, np.ndarray]:
-            # Expand the CSR row pointer instead of a COO round trip.
-            rows = np.repeat(
-                np.arange(matrix.shape[0], dtype=np.int64), np.diff(matrix.indptr)
-            )
-            mask = keep[rows // num_tiles]
-            return rows[mask], matrix.indices[mask].astype(np.int64)
-
-        kept_link_row, kept_link_old_col = kept_entries(parent._pair_links)
-        kept_link_col = old_to_new[kept_link_old_col]
-        assert kept_link_col.size == 0 or kept_link_col.min() >= 0, (
-            "route of an unaffected source crossed a removed link"
-        )
-        kept_tile_row, kept_tile_col = kept_entries(parent._pair_tiles)
         link_row, link_col, tile_row, tile_col = self._pair_table_entries(
             np.flatnonzero(affected)
         )
-        self._assemble_pair_tables(
-            np.concatenate([kept_link_row, link_row]),
-            np.concatenate([kept_link_col, link_col]),
-            np.concatenate([kept_tile_row, tile_row]),
-            np.concatenate([kept_tile_col, tile_col]),
+        self._pair_links = self._spliced_csr(
+            parent._pair_links, affected, num_tiles, old_to_new, link_row, link_col, self.num_links
         )
+        self._pair_tiles = self._spliced_csr(
+            parent._pair_tiles, affected, num_tiles, None, tile_row, tile_col, num_tiles
+        )
+        # Finalisation mirrors _assemble_pair_tables: hops from the row
+        # pointer, lengths via the same sparse product (bit-identical because
+        # per-row summation order equals the canonical column order).
+        self._pair_hops = np.diff(self._pair_links.indptr)
+        self._pair_lengths = self._pair_links @ self.link_lengths
+        self._pair_hops.setflags(write=False)
+        self._pair_lengths.setflags(write=False)
 
     # ------------------------------------------------------------------ #
     # Internals

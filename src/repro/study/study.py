@@ -106,6 +106,8 @@ _CAMPAIGN_KEYS: tuple[str, ...] = (
     "resume",
     "parallel_evaluation",
     "event_log",
+    "shared_routing_cache",
+    "routing_warm_start",
 )
 
 
@@ -298,12 +300,17 @@ class Study:
         resume: bool = True,
         parallel_evaluation: "bool | None" = None,
         event_log: bool = True,
+        shared_routing_cache: bool = True,
+        routing_warm_start: bool = False,
     ) -> "Study":
         """Execute as a sharded, resumable campaign instead of inline runs.
 
         ``event_log=True`` (the default) streams every cell's events —
         pooled or inline — through the durable ``events.jsonl`` next to the
         manifest; it is also what :meth:`submit`'s non-blocking handle tails.
+        ``shared_routing_cache`` and ``routing_warm_start`` control the
+        cross-cell routing-cache tiers (see
+        :class:`~repro.experiments.config.CampaignConfig`).
         """
         self._campaign = {
             "output_dir": str(output_dir),
@@ -311,6 +318,8 @@ class Study:
             "resume": bool(resume),
             "parallel_evaluation": parallel_evaluation,
             "event_log": bool(event_log),
+            "shared_routing_cache": bool(shared_routing_cache),
+            "routing_warm_start": bool(routing_warm_start),
         }
         return self
 
@@ -377,6 +386,8 @@ class Study:
                 resume=bool(campaign.get("resume", True)),
                 parallel_evaluation=campaign.get("parallel_evaluation"),
                 event_log=bool(campaign.get("event_log", True)),
+                shared_routing_cache=bool(campaign.get("shared_routing_cache", True)),
+                routing_warm_start=bool(campaign.get("routing_warm_start", False)),
             )
         return study
 
@@ -494,6 +505,8 @@ class Study:
             parallel_evaluation=self._campaign["parallel_evaluation"],
             routing_cache=self._routing_cache,
             event_log=self._campaign.get("event_log", True),
+            shared_routing_cache=self._campaign.get("shared_routing_cache", True),
+            routing_warm_start=self._campaign.get("routing_warm_start", False),
         )
 
     def _emit(self, kind: str, **payload: Any) -> None:

@@ -1,0 +1,164 @@
+"""Cross-cell routing-cache sharing: pooled engines, warm-start store, equivalence.
+
+Campaign cells running inline share one grid-keyed :class:`RoutingEnginePool`
+engine per platform; with ``routing_warm_start`` a disk store under the
+campaign's output directory lets separate processes warm-start from each
+other's builds.  The contract is the same as every cache tier in this repo:
+sharing changes wall-clock, never results — shard contents must match a
+cold-start campaign apart from cache counters and elapsed timings.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import CampaignConfig, ExperimentConfig
+from repro.experiments.runner import (
+    MANIFEST_NAME,
+    load_campaign_results,
+    load_manifest,
+    run_campaign,
+)
+from repro.noc.constraints import random_design
+from repro.noc.platform import PlatformConfig
+from repro.noc.route_store import RouteStore
+from repro.noc.routing_engine import RoutingEngine, RoutingEnginePool
+
+PLATFORM = PlatformConfig.small_3x3x3()
+
+
+@pytest.fixture()
+def campaign():
+    """2 algorithms x 2 applications on one platform, tiny budget."""
+    return CampaignConfig(
+        experiment=replace(ExperimentConfig.smoke(), applications=("BFS", "BP")),
+        algorithms=("MOEA/D", "NSGA-II"),
+        max_evaluations=30,
+    )
+
+
+class TestRoutingEnginePool:
+    def test_same_grid_same_engine(self):
+        pool = RoutingEnginePool()
+        small, paper = PLATFORM.grid, PlatformConfig.paper_4x4x4().grid
+        assert pool.engine_for(small) is pool.engine_for(small)
+        assert pool.engine_for(small) is not pool.engine_for(paper)
+        assert len(pool) == 2
+
+    def test_engines_inherit_pool_settings(self, tmp_path):
+        store = RouteStore(tmp_path)
+        pool = RoutingEnginePool(cache_size=7, store=store)
+        engine = pool.engine_for(PLATFORM.grid)
+        assert engine.cache_size == 7
+        assert engine._store is store
+
+    def test_stats_aggregate_across_engines(self):
+        pool = RoutingEnginePool()
+        for platform in (PLATFORM, PlatformConfig.paper_4x4x4()):
+            engine = pool.engine_for(platform.grid)
+            engine.tables(random_design(platform, 1))
+            engine.tables(random_design(platform, 1))  # same design: a hit
+        stats = pool.stats()
+        assert stats["engines"] == 2
+        assert stats["misses"] == 2 and stats["hits"] == 2
+        assert stats["requests"] == 4 and stats["hit_rate"] == 0.5
+        assert "store_hits" not in stats  # no store attached anywhere
+
+    def test_stats_include_store_counters_when_attached(self, tmp_path):
+        pool = RoutingEnginePool(store=RouteStore(tmp_path))
+        engine = pool.engine_for(PLATFORM.grid)
+        engine.tables(random_design(PLATFORM, 2))
+        stats = pool.stats()
+        assert stats["store_saves"] == 1 and stats["store_hits"] == 0
+
+
+def _strip_timings(payload):
+    """Shard/manifest content minus wall-clock and cache-counter fields."""
+    if isinstance(payload, dict):
+        return {
+            key: _strip_timings(value)
+            for key, value in payload.items()
+            if key not in ("elapsed_seconds", "routing_cache")
+        }
+    if isinstance(payload, list):
+        return [_strip_timings(item) for item in payload]
+    return payload
+
+
+def _shard_bodies(output_dir):
+    bodies = {}
+    for path in sorted(output_dir.glob("*.json")):
+        if path.name == MANIFEST_NAME:
+            continue
+        bodies[path.name] = _strip_timings(json.loads(path.read_text()))
+    return bodies
+
+
+class TestSharedEngineEquivalence:
+    def test_shared_matches_cold_start_bitwise(self, campaign, tmp_path):
+        """The tentpole's acceptance gate: shard bodies are identical apart
+        from cache counters and elapsed wall-clock."""
+        shared_dir, cold_dir = tmp_path / "shared", tmp_path / "cold"
+        run_campaign(campaign, shared_dir)
+        run_campaign(replace(campaign, shared_routing_cache=False), cold_dir)
+        shared, cold = _shard_bodies(shared_dir), _shard_bodies(cold_dir)
+        assert set(shared) == set(cold) and len(shared) == 4
+        assert shared == cold
+
+        for cell, result in load_campaign_results(shared_dir):
+            _, cold_result = next(
+                pair for pair in load_campaign_results(cold_dir) if pair[0] == cell
+            )
+            np.testing.assert_array_equal(result.objectives, cold_result.objectives)
+
+    def test_shared_cells_accumulate_one_engine(self, campaign, tmp_path):
+        """Per-shard ``cached_topologies`` is the engine-wide absolute count:
+        under sharing it keeps growing as later cells add their topologies to
+        the one engine, so its maximum exceeds what any isolated per-cell
+        engine reaches in the cold campaign.  (Hit/miss deltas stay per-cell
+        and need not differ — with per-cell seeding, cells may explore
+        disjoint topologies.)"""
+        shared_dir, cold_dir = tmp_path / "shared", tmp_path / "cold"
+        run_campaign(campaign, shared_dir)
+        run_campaign(replace(campaign, shared_routing_cache=False), cold_dir)
+
+        def max_cached(output_dir):
+            counts = []
+            for path in sorted(output_dir.glob("*.json")):
+                if path.name == MANIFEST_NAME:
+                    continue
+                counts.append(json.loads(path.read_text())["routing_cache"]["cached_topologies"])
+            assert len(counts) == 4
+            return max(counts)
+
+        assert max_cached(shared_dir) > max_cached(cold_dir)
+        shared_stats = load_manifest(shared_dir)["routing_cache"]
+        cold_stats = load_manifest(cold_dir)["routing_cache"]
+        assert shared_stats["cells_counted"] == cold_stats["cells_counted"] == 4
+
+
+class TestWarmStartStore:
+    def test_warm_start_populates_store_and_counts(self, campaign, tmp_path):
+        warm_dir = tmp_path / "warm"
+        run_campaign(replace(campaign, routing_warm_start=True), warm_dir)
+        store_dir = warm_dir / "routing_store"
+        assert store_dir.is_dir()
+        assert any(path.suffix == ".npz" for path in store_dir.iterdir())
+        stats = load_manifest(warm_dir)["routing_cache"]
+        assert stats["store_saves"] >= 1
+        assert "store_hits" in stats
+
+    def test_warm_start_matches_cold_start_bitwise(self, campaign, tmp_path):
+        warm_dir, cold_dir = tmp_path / "warm", tmp_path / "cold"
+        run_campaign(replace(campaign, routing_warm_start=True), warm_dir)
+        run_campaign(
+            replace(campaign, shared_routing_cache=False), cold_dir
+        )
+        assert _shard_bodies(warm_dir) == _shard_bodies(cold_dir)
+
+    def test_cold_manifest_has_no_store_counters(self, campaign, tmp_path):
+        run_campaign(campaign, tmp_path / "out")
+        stats = load_manifest(tmp_path / "out")["routing_cache"]
+        assert "store_saves" not in stats and "store_hits" not in stats

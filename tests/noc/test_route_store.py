@@ -1,0 +1,155 @@
+"""RouteStore: disk warm-start entries round-trip byte-exact and degrade to misses.
+
+The store crosses process boundaries the in-memory engine cannot (pool
+workers, campaign cells), so its contract is strict: a load either
+reconstructs tables bit-identical to the build that was saved, or returns
+``None`` — never wrong routes, never an exception, no matter what is on disk.
+"""
+
+import numpy as np
+import pytest
+
+from repro.noc.constraints import random_design
+from repro.noc.platform import PlatformConfig
+from repro.noc.route_store import DEFAULT_MAX_ENTRIES, RouteStore
+from repro.noc.routing import RoutingTables
+from repro.noc.routing_engine import RoutingEngine
+
+PLATFORM = PlatformConfig.small_3x3x3()
+
+
+@pytest.fixture
+def tables():
+    design = random_design(PLATFORM, 3)
+    return RoutingTables(design, PLATFORM.grid)
+
+
+class TestRoundTrip:
+    def test_load_reconstructs_saved_state_byte_exact(self, tmp_path, tables):
+        store = RouteStore(tmp_path)
+        assert store.save(tables) is True
+        loaded = store.load(tables.links, tables.num_tiles, tables.grid)
+        assert loaded is not None
+        assert loaded.links == tables.links
+        assert loaded._distance.tobytes() == tables._distance.tobytes()
+        assert loaded._predecessors.tobytes() == tables._predecessors.tobytes()
+        for name in ("pair_link_incidence", "pair_tile_incidence"):
+            a, b = getattr(loaded, name)(), getattr(tables, name)()
+            assert a.indptr.tobytes() == b.indptr.tobytes()
+            assert a.indices.tobytes() == b.indices.tobytes()
+            assert a.data.tobytes() == b.data.tobytes()
+        assert loaded.pair_hops().tobytes() == tables.pair_hops().tobytes()
+
+    def test_missing_key_is_none(self, tmp_path, tables):
+        store = RouteStore(tmp_path)
+        assert store.load(tables.links, tables.num_tiles, tables.grid) is None
+
+    def test_save_is_idempotent(self, tmp_path, tables):
+        store = RouteStore(tmp_path)
+        assert store.save(tables) is True
+        assert store.save(tables) is False
+        assert len(store) == 1
+
+    def test_identical_content_across_two_stores(self, tmp_path, tables):
+        """Entry names derive from content only: two stores populated from the
+        same tables are file-for-file identical (determinism contract)."""
+        first, second = RouteStore(tmp_path / "a"), RouteStore(tmp_path / "b")
+        first.save(tables)
+        second.save(tables)
+        (file_a,) = sorted(p.name for p in (tmp_path / "a").iterdir())
+        (file_b,) = sorted(p.name for p in (tmp_path / "b").iterdir())
+        assert file_a == file_b
+        assert (tmp_path / "a" / file_a).read_bytes() == (tmp_path / "b" / file_b).read_bytes()
+
+
+class TestBounds:
+    def test_max_entries_caps_saves(self, tmp_path):
+        store = RouteStore(tmp_path, max_entries=2)
+        outcomes = []
+        for seed in range(4):
+            design = random_design(PLATFORM, seed)
+            outcomes.append(store.save(RoutingTables(design, PLATFORM.grid)))
+        assert outcomes == [True, True, False, False]
+        assert len(store) == 2
+
+    def test_default_bound(self, tmp_path):
+        assert RouteStore(tmp_path).max_entries == DEFAULT_MAX_ENTRIES
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RouteStore(tmp_path, max_entries=0)
+
+    def test_len_of_missing_directory_is_zero(self, tmp_path):
+        assert len(RouteStore(tmp_path / "never-created")) == 0
+
+
+class TestMissNotError:
+    def test_grid_mismatch_is_none(self, tmp_path, tables):
+        """Same links hashed under another grid must not resolve — the key
+        includes the dims, so this is simply a different entry."""
+        store = RouteStore(tmp_path)
+        store.save(tables)
+        other = PlatformConfig.paper_4x4x4()
+        assert store.load(tables.links, other.num_tiles, other.grid) is None
+
+    def test_link_set_mismatch_degrades_to_miss(self, tmp_path, tables):
+        """A file renamed onto another key (simulated collision / stale cache)
+        fails the stored-endpoint verification and loads as None."""
+        store = RouteStore(tmp_path)
+        store.save(tables)
+        (entry,) = list(tmp_path.iterdir())
+        victim = random_design(PLATFORM, 99)
+        victim_key = RouteStore.key_for(victim.links, victim.num_tiles, PLATFORM.grid)
+        entry.rename(tmp_path / f"{victim_key}.npz")
+        assert store.load(victim.links, victim.num_tiles, PLATFORM.grid) is None
+
+    def test_corrupt_file_degrades_to_miss(self, tmp_path, tables):
+        store = RouteStore(tmp_path)
+        store.save(tables)
+        (entry,) = list(tmp_path.iterdir())
+        entry.write_bytes(b"not an npz archive")
+        assert store.load(tables.links, tables.num_tiles, tables.grid) is None
+
+    def test_truncated_file_degrades_to_miss(self, tmp_path, tables):
+        store = RouteStore(tmp_path)
+        store.save(tables)
+        (entry,) = list(tmp_path.iterdir())
+        entry.write_bytes(entry.read_bytes()[:40])
+        assert store.load(tables.links, tables.num_tiles, tables.grid) is None
+
+
+class TestEngineIntegration:
+    def test_store_hit_turns_sibling_miss_into_repair(self, tmp_path):
+        """A second engine (another process in real runs) repairs from the
+        store-loaded parent instead of cold-building the child."""
+        store = RouteStore(tmp_path)
+        parent = random_design(PLATFORM, 5)
+        first = RoutingEngine(PLATFORM.grid, store=store)
+        first.tables(parent)
+        # Fresh builds are auto-saved to an attached store; a later explicit
+        # share is a no-op on the already-persisted entry.
+        assert first.store_saves == 1
+        assert first.share_to_store(parent.links) is False
+
+        from repro.noc.moves import MoveGenerator
+
+        rng = np.random.default_rng(8)
+        moves = MoveGenerator(PLATFORM)
+        child = None
+        while child is None:
+            child = moves.rewire_link(parent, rng)
+
+        second = RoutingEngine(PLATFORM.grid, store=store)
+        repaired = second.tables(child)
+        assert second.store_hits == 1
+        assert second.incremental_repairs == 1
+        fresh = RoutingTables(child, PLATFORM.grid)
+        assert repaired.pair_hops().tobytes() == fresh.pair_hops().tobytes()
+        assert np.array_equal(repaired._predecessors, fresh._predecessors)
+
+    def test_stats_expose_store_counters_only_when_attached(self, tmp_path):
+        bare = RoutingEngine(PLATFORM.grid)
+        assert "store_hits" not in bare.stats()
+        stored = RoutingEngine(PLATFORM.grid, store=RouteStore(tmp_path))
+        stats = stored.stats()
+        assert stats["store_hits"] == 0 and stats["store_saves"] == 0

@@ -1,0 +1,194 @@
+"""Fork-once evaluation pool: compact payloads, lifecycle, warm-start store.
+
+Complements ``test_batch_equivalence.py`` (which pins pooled == serial on a
+plain batch) with the machinery this pool is made of: the chunk payload
+round-trip, deduplication of shared topologies, the pool's deterministic
+lifecycle (persistence across batches, release on failure and on context
+exit) and the disk store that lets workers repair incrementally.
+"""
+
+import numpy as np
+import pytest
+
+import repro.objectives.evaluator as evaluator_module
+from repro.noc.constraints import random_design
+from repro.noc.design import MoveDelta, NocDesign, annotate_move, move_delta_of
+from repro.noc.moves import MoveGenerator
+from repro.noc.platform import PlatformConfig
+from repro.objectives.evaluator import (
+    ObjectiveEvaluator,
+    _evaluate_chunk,
+    _init_worker,
+    _pack_chunk,
+    _parent_topologies,
+    _unpack_link_sets,
+    scenario_for,
+)
+from repro.workloads.registry import get_workload
+
+PLATFORM = PlatformConfig.tiny_2x2x2()
+WORKLOAD = get_workload("BFS", PLATFORM, seed=0)
+
+
+def _brood(parent, size=6, seed=3):
+    moves = MoveGenerator(PLATFORM, WORKLOAD)
+    rng = np.random.default_rng(seed)
+    return [moves.random_neighbor(parent, rng) for _ in range(size)]
+
+
+class TestChunkPayload:
+    def test_pack_unpack_round_trip(self):
+        parent = random_design(PLATFORM, 1)
+        brood = _brood(parent)
+        payload = _pack_chunk(brood)
+        placements, topology_idx, topology_ends, topology_counts = payload[:4]
+        parent_idx, parent_ends, parent_counts = payload[4:]
+        topologies = _unpack_link_sets(topology_ends, topology_counts)
+        parents = _unpack_link_sets(parent_ends, parent_counts)
+        for pos, design in enumerate(brood):
+            assert tuple(placements[pos].tolist()) == design.placement
+            assert topologies[int(topology_idx[pos])] == design.links
+            delta = move_delta_of(design)
+            if delta is not None and delta.parent_links != design.links:
+                assert parents[int(parent_idx[pos])] == delta.parent_links
+            else:
+                assert int(parent_idx[pos]) == -1
+
+    def test_shared_topology_pickled_once(self):
+        """A placement brood shares the parent's link set: the payload must
+        carry that topology exactly once, not per design."""
+        parent = random_design(PLATFORM, 2)
+        brood = [
+            annotate_move(
+                NocDesign(placement=design.placement, links=parent.links),
+                MoveDelta(kind="swap", parent_links=parent.links),
+            )
+            for design in _brood(parent)
+        ]
+        _, topology_idx, _, topology_counts = _pack_chunk(brood)[:4]
+        assert len(topology_counts) == 1
+        assert set(topology_idx.tolist()) == {0}
+
+    def test_parent_topologies_dedup_first_seen_order(self):
+        parent_a, parent_b = random_design(PLATFORM, 4), random_design(PLATFORM, 17)
+        assert parent_a.links != parent_b.links
+        child = random_design(PLATFORM, 20)
+
+        def fresh_child():  # annotate_move overwrites in place: one copy each
+            return NocDesign(placement=child.placement, links=child.links)
+
+        brood = [
+            annotate_move(fresh_child(), MoveDelta(kind="rewire", parent_links=parent_a.links)),
+            annotate_move(fresh_child(), MoveDelta(kind="rewire", parent_links=parent_b.links)),
+            annotate_move(fresh_child(), MoveDelta(kind="rewire", parent_links=parent_a.links)),
+            # Placement move: parent links equal the child's own links, so
+            # there is nothing to warm-start from — must be filtered out.
+            annotate_move(fresh_child(), MoveDelta(kind="swap", parent_links=child.links)),
+            fresh_child(),  # unannotated
+        ]
+        parents = _parent_topologies(brood)
+        assert parents == [parent_a.links, parent_b.links]
+
+    def test_chunk_evaluation_matches_inline(self):
+        """_evaluate_chunk in this process (worker globals primed the same
+        way _init_worker does in a real fork) reproduces _compute exactly."""
+        parent = random_design(PLATFORM, 6)
+        brood = _brood(parent)
+        _init_worker(WORKLOAD, scenario_for(5), routing_cache=True)
+        try:
+            block = _evaluate_chunk(_pack_chunk(brood))
+        finally:
+            evaluator_module._WORKER_EVALUATOR = None
+        inline = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        expected = np.stack([inline._compute(design) for design in brood])
+        np.testing.assert_array_equal(block, expected)
+
+
+class TestPooledEquivalence:
+    def test_duplicates_and_annotated_moves_bitwise(self):
+        """Duplicates collapse to one computation and move-annotated children
+        take the worker repair path — output must stay bit-identical."""
+        parent = random_design(PLATFORM, 7)
+        brood = _brood(parent)
+        batch = [parent] + brood + [brood[0], parent]
+        serial = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        expected = serial.evaluate_many(batch)
+        pooled = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        try:
+            actual = pooled.evaluate_many(batch, parallel=True, max_workers=2)
+        finally:
+            pooled.shutdown()
+        np.testing.assert_array_equal(actual, expected)
+
+    def test_store_backed_pool_bitwise_and_counted(self, tmp_path):
+        """With route_store_path the parent is shared to disk before fan-out
+        and the evaluator's stats expose the store counters."""
+        parent = random_design(PLATFORM, 8)
+        brood = _brood(parent, size=8)
+        serial = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        serial.evaluate(parent)
+        expected = serial.evaluate_many(brood)
+        assert "store_hits" not in serial.routing_cache_stats()
+
+        pooled = ObjectiveEvaluator(
+            WORKLOAD, scenario_for(5), cache_size=0, route_store_path=str(tmp_path)
+        )
+        pooled.evaluate(parent)
+        try:
+            actual = pooled.evaluate_many(brood, parallel=True, max_workers=2)
+        finally:
+            pooled.shutdown()
+        np.testing.assert_array_equal(actual, expected)
+        stats = pooled.routing_cache_stats()
+        assert stats["store_saves"] >= 1  # the parent topology was published
+        assert any(path.suffix == ".npz" for path in tmp_path.iterdir())
+
+
+class TestPoolLifecycle:
+    def test_pool_persists_across_batches_and_rebuilds_on_resize(self):
+        evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        designs = [random_design(PLATFORM, seed) for seed in (10, 11)]
+        try:
+            evaluator.evaluate_many(designs, parallel=True, max_workers=2)
+            first = evaluator._pool
+            assert first is not None
+            evaluator.evaluate_many(designs, parallel=True, max_workers=2)
+            assert evaluator._pool is first  # fork-once: same pool reused
+            evaluator.evaluate_many(designs, parallel=True, max_workers=1)
+            assert evaluator._pool is not first  # resize rebuilds
+        finally:
+            evaluator.shutdown()
+        assert evaluator._pool is None
+
+    def test_failed_batch_releases_pool(self, monkeypatch):
+        evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        designs = [random_design(PLATFORM, seed) for seed in (12, 13)]
+
+        def explode(designs):
+            raise RuntimeError("payload packing failed")
+
+        monkeypatch.setattr(evaluator_module, "_pack_chunk", explode)
+        with pytest.raises(RuntimeError, match="payload packing failed"):
+            evaluator.evaluate_many(designs, parallel=True, max_workers=2)
+        assert evaluator._pool is None  # no orphaned worker processes
+
+    def test_parallel_context_scopes_default_and_releases(self):
+        evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        designs = [random_design(PLATFORM, seed) for seed in (14, 15)]
+        serial = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        expected = serial.evaluate_many(designs)
+        assert evaluator._parallel_default is False
+        with evaluator.parallel(max_workers=2):
+            assert evaluator._parallel_default is True
+            assert evaluator._pool is not None  # primed eagerly on entry
+            np.testing.assert_array_equal(evaluator.evaluate_many(designs), expected)
+        assert evaluator._parallel_default is False
+        assert evaluator._pool is None
+
+    def test_parallel_context_releases_on_error(self):
+        evaluator = ObjectiveEvaluator(WORKLOAD, scenario_for(5), cache_size=0)
+        with pytest.raises(ValueError, match="sentinel"):
+            with evaluator.parallel(max_workers=1):
+                raise ValueError("sentinel")
+        assert evaluator._parallel_default is False
+        assert evaluator._pool is None

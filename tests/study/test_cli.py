@@ -141,6 +141,27 @@ class TestCampaignAndTables:
         assert "workers=2" in out
         assert (tmp_path / "out" / "manifest.json").exists()
 
+    def test_campaign_config_routing_warm_start_is_respected(self, tmp_path, capsys):
+        """A config file's `campaign.routing_warm_start = true` must survive
+        the CLI's settings plumbing: the store directory is created and the
+        manifest aggregates store counters."""
+        config = tmp_path / "study.json"
+        config.write_text(json.dumps({
+            "preset": "smoke",
+            "applications": ["BFS"],
+            "algorithms": ["NSGA-II"],
+            "evaluations": 30,
+            "campaign": {
+                "output_dir": str(tmp_path / "out"),
+                "routing_warm_start": True,
+            },
+        }))
+        assert main(["campaign", "--config", str(config), "--no-progress"]) == 0
+        capsys.readouterr()
+        assert list((tmp_path / "out" / "routing_store").glob("*.npz"))
+        manifest = json.loads((tmp_path / "out" / "manifest.json").read_text())
+        assert manifest["routing_cache"]["store_saves"] >= 1
+
     def test_campaign_follow_streams_worker_events(self, campaign_dir, capsys):
         """--follow on a pooled campaign renders per-iteration events that
         crossed the process boundary through the event log."""
