@@ -44,7 +44,9 @@ from repro.experiments.runner import (
 )
 from repro.moo.result import OptimizationResult
 from repro.moo.termination import Budget
+from repro.noc.constraints import InfeasibleDesignError, ViolationReport
 from repro.noc.platform import PlatformConfig
+from repro.noc.repair import RepairBudget, RepairPlan, repair_design
 from repro.objectives.evaluator import ObjectiveEvaluator
 from repro.study.events import EventCallback, StudyEvent
 from repro.study.registry import (
@@ -63,6 +65,7 @@ __all__ = [
     "CompactionSummary",
     "EventCallback",
     "ExperimentConfig",
+    "InfeasibleDesignError",
     "MOELA",
     "MOELAConfig",
     "NocDesignProblem",
@@ -71,15 +74,19 @@ __all__ = [
     "OptimizerRegistry",
     "OptimizerSpec",
     "PlatformConfig",
+    "RepairBudget",
+    "RepairPlan",
     "Study",
     "StudyEvent",
     "StudyResult",
+    "ViolationReport",
     "WorkloadRegistry",
     "compact_campaign",
     "compare_algorithms",
     "default_registry",
     "get_workload",
     "register_optimizer",
+    "repair_design",
     "run_algorithm",
     "run_campaign",
     "submit_campaign",

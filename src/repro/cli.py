@@ -1,6 +1,6 @@
 """``python -m repro`` — the command-line front door, built on :class:`Study`.
 
-Seven subcommands cover the package's workflows (full reference with session
+Eight subcommands cover the package's workflows (full reference with session
 transcripts in ``docs/cli.md``):
 
 ``run``
@@ -25,6 +25,12 @@ transcripts in ``docs/cli.md``):
     (:mod:`repro.experiments.robustness`) from a finished campaign directory
     whose grid included a ``scenarios`` axis — purely from the shards, no
     re-runs.
+``explain``
+    Render the typed constraint-violation report of a saved design
+    (:class:`repro.noc.ViolationReport`) — which constraints it breaks, by
+    how much, and on which tiles/links — and, with ``--repair``, run the
+    seeded directed repair walk (:mod:`repro.noc.repair`) and print its
+    transcript.  The exit code answers "is it feasible?" for scripts.
 ``list``
     Show the registered optimizers; ``--verbose`` adds each optimizer's
     aliases and full hyperparameter schema.
@@ -41,6 +47,7 @@ registered third-party optimisers are first-class citizens here too.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Sequence
 
@@ -54,9 +61,11 @@ from repro.experiments.robustness import (
 )
 from repro.experiments.tables import aggregate_campaign, format_table
 from repro.moo.hypervolume import reference_point_from
+from repro.noc import ConstraintChecker, RepairBudget, repair_design
 from repro.study.events import StudyEvent
 from repro.study.registry import default_registry
-from repro.study.study import PLATFORM_FACTORIES, PRESETS, Study
+from repro.study.study import PLATFORM_FACTORIES, PRESETS, Study, resolve_platform
+from repro.utils.serialization import load_design
 
 #: Pointer printed at the bottom of every ``--help`` page.
 DOCS_EPILOG = (
@@ -199,6 +208,58 @@ def _cmd_compact(args: argparse.Namespace) -> int:
         print(f"  {len(summary.pending)} cells still pending "
               "(resume the campaign, then compact again)")
     return 0
+
+
+def _infer_platform(num_tiles: int):
+    """Resolve the named platform whose tile count matches the design.
+
+    Every registered factory has a distinct tile count (8, 16, 27, 64, 256),
+    so a saved design's placement length identifies its platform; ambiguity
+    would surface here as an error rather than a silent guess.
+    """
+    matches = {}
+    for name in sorted(PLATFORM_FACTORIES):
+        config = PLATFORM_FACTORIES[name]()
+        if config.num_tiles == num_tiles:
+            matches[config.name] = config
+    if len(matches) == 1:
+        return next(iter(matches.values()))
+    if not matches:
+        raise ValueError(
+            f"no registered platform has {num_tiles} tiles; pass --platform "
+            f"(available: {', '.join(sorted(set(PLATFORM_FACTORIES)))})"
+        )
+    raise ValueError(
+        f"platforms {sorted(matches)} all have {num_tiles} tiles; "
+        "pass --platform to disambiguate"
+    )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    config = (resolve_platform(args.platform) if args.platform
+              else _infer_platform(len(design.placement)))
+    report = ConstraintChecker(config).report(design)
+    plan = None
+    if args.repair and not report.feasible:
+        budget = RepairBudget(
+            max_rounds=args.max_rounds,
+            candidates_per_round=args.candidates_per_round,
+            max_evaluations=args.max_evaluations,
+        )
+        plan = repair_design(design, config, seed=args.seed, budget=budget)
+    if args.json:
+        payload: dict[str, Any] = {"report": report.to_dict()}
+        if plan is not None:
+            payload["repair"] = plan.to_dict()
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.format())
+        if plan is not None:
+            print()
+            print(plan.format())
+    feasible = plan.feasible if plan is not None else report.feasible
+    return 0 if feasible else 1
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -398,6 +459,35 @@ def build_parser() -> argparse.ArgumentParser:
     robustness_parser.add_argument("--certificate-only", action="store_true",
                                    help="skip the per-objective sensitivity map")
     robustness_parser.set_defaults(handler=_cmd_robustness)
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="explain why a saved design is (in)feasible; optionally repair it",
+        epilog=DOCS_EPILOG,
+    )
+    explain_parser.add_argument("design",
+                                help="design JSON file (placement + links, as written "
+                                "by repro.utils.serialization.save_design)")
+    explain_parser.add_argument("--platform",
+                                help="platform name "
+                                f"({', '.join(sorted(set(PLATFORM_FACTORIES)))}); "
+                                "default: inferred from the design's tile count")
+    explain_parser.add_argument("--repair", action="store_true",
+                                help="run the seeded directed repair walk on an "
+                                "infeasible design and print its transcript")
+    explain_parser.add_argument("--seed", type=int, default=0,
+                                help="repair walk seed (default: 0)")
+    explain_parser.add_argument("--max-rounds", type=int, default=4,
+                                help="repair rounds before giving up (default: 4)")
+    explain_parser.add_argument("--candidates-per-round", type=int, default=8,
+                                help="repair candidates per round (default: 8)")
+    explain_parser.add_argument("--max-evaluations", type=int, default=32,
+                                help="objective evaluations the repair walk may "
+                                "spend scoring candidates (default: 32)")
+    explain_parser.add_argument("--json", action="store_true",
+                                help="emit the report (and repair plan) as JSON "
+                                "instead of the human-readable rendering")
+    explain_parser.set_defaults(handler=_cmd_explain)
 
     list_parser = subparsers.add_parser(
         "list",

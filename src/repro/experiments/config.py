@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import MOELAConfig
 from repro.noc.platform import PlatformConfig
+from repro.noc.repair import RepairBudget
 from repro.scenarios.registry import canonical_scenario_key
 from repro.workloads.rodinia import RODINIA_APPLICATIONS
 
@@ -196,6 +197,18 @@ class CampaignConfig:
         are bit-identical with the log on or off.  ``False`` falls back to
         direct in-process callbacks (pool workers then only report shard
         completions).
+    repair_infeasible:
+        Enables the opt-in directed feasibility repair path inside every
+        cell's optimiser (see :mod:`repro.noc.repair`): infeasible brood
+        members are run through a seeded repair walk before scoring instead
+        of being discarded.  Off by default — seeded campaigns are
+        bit-identical to pre-repair behaviour when off.  Each cell's repair
+        counters (attempted / repaired / evaluations spent) are recorded in
+        its shard and summarised in the campaign manifest.
+    repair_max_rounds, repair_candidates_per_round, repair_max_evaluations:
+        Budget of each repair walk (see
+        :class:`~repro.noc.repair.RepairBudget`); only consulted when
+        ``repair_infeasible`` is on.
     max_evaluations:
         Per-cell evaluation budget override; ``None`` uses the experiment's
         ``max_evaluations``.
@@ -210,6 +223,10 @@ class CampaignConfig:
     shared_routing_cache: bool = True
     routing_warm_start: bool = False
     event_log: bool = True
+    repair_infeasible: bool = False
+    repair_max_rounds: int = 4
+    repair_candidates_per_round: int = 8
+    repair_max_evaluations: int = 32
     max_evaluations: int | None = None
 
     def __post_init__(self) -> None:
@@ -217,6 +234,17 @@ class CampaignConfig:
             raise ValueError("max_workers must be >= 1")
         if self.max_evaluations is not None and self.max_evaluations < 1:
             raise ValueError("max_evaluations must be >= 1")
+        # RepairBudget owns the bounds validation; building one here makes a
+        # bad repair configuration fail at construction, not mid-campaign.
+        self.repair_budget()
+
+    def repair_budget(self) -> RepairBudget:
+        """The per-walk repair budget the cells run with (see ``repair_infeasible``)."""
+        return RepairBudget(
+            max_rounds=self.repair_max_rounds,
+            candidates_per_round=self.repair_candidates_per_round,
+            max_evaluations=self.repair_max_evaluations,
+        )
 
     def resolve_parallel_evaluation(self) -> bool:
         """Whether cells should evaluate batches on a process pool."""

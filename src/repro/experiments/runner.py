@@ -38,6 +38,7 @@ from repro.core.problem import NocDesignProblem
 from repro.experiments.config import CampaignConfig, ExperimentConfig
 from repro.moo.result import OptimizationResult
 from repro.moo.termination import Budget
+from repro.noc.repair import RepairBudget
 from repro.noc.routing_engine import RoutingEngine, RoutingEnginePool
 from repro.study.event_log import EVENT_LOG_NAME, EventLogReader, EventLogWriter
 from repro.study.events import EventCallback, StudyEvent
@@ -131,6 +132,8 @@ def run_algorithm(
     seed: int | None = None,
     options: Mapping[str, Any] | None = None,
     on_event: EventCallback | None = None,
+    repair_infeasible: bool = False,
+    repair_budget: "RepairBudget | None" = None,
 ) -> OptimizationResult:
     """Run one algorithm on one problem instance and return its result.
 
@@ -141,12 +144,24 @@ def run_algorithm(
     declared schema; ``on_event`` subscribes the run to streaming
     :class:`~repro.study.events.StudyEvent` progress (observation-only — a
     subscribed run is bit-identical to a silent one).
+
+    ``repair_infeasible`` enables the opt-in directed feasibility repair
+    path (:mod:`repro.noc.repair`): infeasible brood members are repaired
+    before scoring instead of discarded, each walk seeded from the run seed
+    so results replay deterministically; ``repair_budget`` bounds every walk.
+    Like ``on_event``, repair is wired post-construction — off (the default)
+    leaves seeded runs bit-identical to pre-repair behaviour.
     """
     spec = default_registry().spec(algorithm)
     budget = budget if budget is not None else spec.budget_for(experiment)
     if seed is None:
         seed = _derived_seed(experiment, spec.name, problem.workload.name, problem.num_objectives)
     optimizer = spec.create(problem, experiment, seed, **dict(options or {}))
+    if repair_infeasible:
+        optimizer.repair_infeasible = True
+        optimizer.repair_seed = seed
+        if repair_budget is not None:
+            optimizer.repair_budget = repair_budget
     if on_event is not None:
         optimizer.on_event = on_event
         optimizer.event_context = {
@@ -259,6 +274,7 @@ class CampaignSummary:
     skipped: list[str]
     parallel_evaluation: bool
     routing_cache: "dict[str, Any] | None" = None  # aggregate engine counters (see manifest)
+    repair: "dict[str, Any] | None" = None  # aggregate repair counters (repair campaigns only)
 
     def shard_path(self, key: str) -> Path:
         """Path of the shard for a cell key."""
@@ -410,6 +426,40 @@ def aggregate_routing_cache_stats(
     }
 
 
+def aggregate_repair_stats(
+    output_dir: "str | Path",
+    cells: list[CampaignCell],
+    rollup: "Mapping[str, Any] | None" = None,
+) -> dict[str, Any]:
+    """Fold the per-shard directed-repair counters into one campaign summary.
+
+    Mirrors :func:`aggregate_routing_cache_stats`: cells whose shard is
+    missing or predates the repair format land in ``cells_missing_stats``
+    instead of silently skewing the totals.
+    """
+    output_dir = Path(output_dir)
+    totals = {"attempted": 0, "repaired": 0, "evaluations": 0}
+    counted = 0
+    missing = 0
+    for cell in cells:
+        payload = cell_payload(output_dir, cell, rollup)
+        if payload is None:
+            continue
+        stats = payload.get("repair")
+        if not isinstance(stats, dict):
+            missing += 1
+            continue
+        counted += 1
+        for field_name in totals:
+            totals[field_name] += int(stats.get(field_name, 0))
+    return {
+        "cells_counted": counted,
+        "cells_missing_stats": missing,
+        **totals,
+        "repair_rate": totals["repaired"] / totals["attempted"] if totals["attempted"] else 0.0,
+    }
+
+
 def campaign_status(output_dir: "str | Path") -> dict[str, bool]:
     """Completion state of every cell recorded in a campaign manifest."""
     output_dir = Path(output_dir)
@@ -507,11 +557,19 @@ def _run_campaign_cell(
             budget=Budget.evaluations(campaign.cell_budget),
             seed=cell.seed,
             on_event=emit,
+            repair_infeasible=campaign.repair_infeasible,
+            repair_budget=campaign.repair_budget() if campaign.repair_infeasible else None,
         )
         routing_stats = problem.routing_cache_stats()
         payload = result_to_dict(result)
         payload["cell"] = cell.to_dict()
         payload["routing_cache"] = routing_stats
+        # Repair counters appear only on repair-enabled campaigns, so default
+        # shards stay byte-identical to the pre-repair format.
+        if campaign.repair_infeasible:
+            payload["repair"] = result.metadata.get(
+                "repair", {"attempted": 0, "repaired": 0, "evaluations": 0}
+            )
         write_json_atomic(payload, Path(output_dir) / cell.shard_name)
         outcome = {
             "key": cell.key,
@@ -697,6 +755,10 @@ def _execute_campaign(
     if rollup is not None:
         manifest_payload["rollup"] = rollup
     manifest_payload["routing_cache"] = routing_stats
+    repair_stats: "dict[str, Any] | None" = None
+    if campaign.repair_infeasible:
+        repair_stats = aggregate_repair_stats(output_dir, cells, rollup)
+        manifest_payload["repair"] = repair_stats
     write_json_atomic(manifest_payload, manifest_path)
 
     if emit is not None:
@@ -720,6 +782,7 @@ def _execute_campaign(
         skipped=[cell.key for cell in cells if cell.key in done],
         parallel_evaluation=campaign.resolve_parallel_evaluation(),
         routing_cache=routing_stats,
+        repair=repair_stats,
     )
 
 

@@ -5,13 +5,22 @@ from repro.noc.geometry import Grid3D, TileCoord
 from repro.noc.links import Link, LinkKind, candidate_planar_links, candidate_vertical_links
 from repro.noc.mesh import mesh_design, mesh_links
 from repro.noc.platform import PEType, PlatformConfig
-from repro.noc.constraints import ConstraintChecker, ConstraintViolation, random_design
+from repro.noc.constraints import (
+    ConstraintChecker,
+    ConstraintViolation,
+    InfeasibleDesignError,
+    ViolationReport,
+    random_design,
+    violation_details,
+)
+from repro.noc.repair import RepairBudget, RepairPlan, RepairStep, repair_design
 from repro.noc.routing import RoutingTables
 from repro.noc.routing_engine import RoutingEngine
 
 __all__ = [
     "ConstraintChecker",
     "ConstraintViolation",
+    "InfeasibleDesignError",
     "Grid3D",
     "Link",
     "LinkKind",
@@ -19,9 +28,13 @@ __all__ = [
     "NocDesign",
     "PEType",
     "PlatformConfig",
+    "RepairBudget",
+    "RepairPlan",
+    "RepairStep",
     "RoutingEngine",
     "RoutingTables",
     "TileCoord",
+    "ViolationReport",
     "annotate_move",
     "candidate_planar_links",
     "candidate_vertical_links",
@@ -29,4 +42,6 @@ __all__ = [
     "mesh_links",
     "move_delta_of",
     "random_design",
+    "repair_design",
+    "violation_details",
 ]

@@ -15,8 +15,9 @@ problem:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 import numpy as np
 
@@ -32,16 +33,169 @@ from repro.noc.links import (
 from repro.noc.platform import PEType, PlatformConfig
 from repro.utils.rng import RngLike, ensure_rng
 
+#: Violation severities.  ``fatal`` marks structural-identity breakage (wrong
+#: tile count, placement not a permutation) that no link/placement operator
+#: can repair; every other constraint is a repairable ``error``.
+SEVERITY_FATAL = "fatal"
+SEVERITY_ERROR = "error"
+
+_SEVERITY_RANK = {SEVERITY_FATAL: 0, SEVERITY_ERROR: 1}
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalise a detail value into plain, hashable, JSON-friendly data.
+
+    Links become ``(a, b)`` endpoint tuples, numpy scalars become Python ints
+    and floats, and nested sequences are canonicalised recursively so two
+    reports built from equal designs compare (and serialise) identically.
+    """
+    if isinstance(value, Link):
+        return (int(value.a), int(value.b))
+    if isinstance(value, (np.integer, np.bool_)):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(item) for item in value)
+    return value
+
+
+def violation_details(**values: Any) -> tuple[tuple[str, Any], ...]:
+    """Canonical machine-readable detail pairs, sorted by key.
+
+    Details are stored as a sorted tuple of ``(key, value)`` pairs rather
+    than a dict so violations stay frozen/hashable and two reports over the
+    same design are structurally identical (REP003: no dict/set iteration
+    order leaks into serialised output).
+    """
+    return tuple(sorted((key, _canonical_value(value)) for key, value in values.items()))
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_jsonable(item) for item in value]
+    return value
+
 
 @dataclass(frozen=True)
 class ConstraintViolation:
-    """A single constraint violation with a human-readable description."""
+    """A single constraint violation.
+
+    ``code`` is a stable machine-readable identifier, ``severity`` is one of
+    :data:`SEVERITY_FATAL` / :data:`SEVERITY_ERROR`, and ``details`` carries
+    the offending tiles/links/budget deltas as canonical ``(key, value)``
+    pairs (see :func:`violation_details`) so the directed repair walk can act
+    on a violation without re-parsing its message.
+    """
 
     code: str
     message: str
+    severity: str = SEVERITY_ERROR
+    details: tuple[tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """Look up one detail value by key."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON representation (details become a key-sorted object)."""
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "details": {key: _jsonable(value) for key, value in self.details},
+        }
 
     def __str__(self) -> str:
         return f"[{self.code}] {self.message}"
+
+
+def _violation_sort_key(violation: ConstraintViolation) -> tuple:
+    return (
+        _SEVERITY_RANK.get(violation.severity, len(_SEVERITY_RANK)),
+        violation.code,
+        violation.message,
+    )
+
+
+@dataclass(frozen=True)
+class ViolationReport:
+    """Structured feasibility verdict for one design on one platform.
+
+    Violations are held in deterministic order (severity rank, then code,
+    then message), so the report of a given design is a pure function of the
+    design and platform: building it twice yields byte-identical
+    :meth:`to_json` output.
+    """
+
+    platform: str
+    num_tiles: int
+    num_links: int
+    violations: tuple[ConstraintViolation, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """True when the design satisfies every constraint."""
+        return not self.violations
+
+    @property
+    def fatal(self) -> bool:
+        """True when any violation is unrepairable (structural identity broken)."""
+        return any(v.severity == SEVERITY_FATAL for v in self.violations)
+
+    @property
+    def codes(self) -> tuple[str, ...]:
+        """Violation codes in report order (duplicates preserved)."""
+        return tuple(v.code for v in self.violations)
+
+    def by_code(self, code: str) -> tuple[ConstraintViolation, ...]:
+        """All violations carrying ``code``, in report order."""
+        return tuple(v for v in self.violations if v.code == code)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON representation of the full report."""
+        return {
+            "platform": self.platform,
+            "num_tiles": self.num_tiles,
+            "num_links": self.num_links,
+            "feasible": self.feasible,
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        """Canonical compact JSON encoding (byte-identical for equal reports)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering of the report."""
+        header = (
+            f"design on {self.platform}: {self.num_tiles} tiles, {self.num_links} links — "
+            + ("feasible" if self.feasible else f"{len(self.violations)} violation(s)")
+        )
+        lines = [header]
+        for violation in self.violations:
+            lines.append(f"  {violation.severity:<5} [{violation.code}] {violation.message}")
+            for key, value in violation.details:
+                lines.append(f"        {key} = {_jsonable(value)}")
+        return "\n".join(lines)
+
+
+class InfeasibleDesignError(ValueError):
+    """Raised by :meth:`ConstraintChecker.check` for infeasible designs.
+
+    Subclasses ``ValueError`` and keeps the historical
+    ``"infeasible design: ..."`` message prefix, so callers that matched on
+    the string keep working; new callers should catch this type and read the
+    structured :attr:`report` instead.
+    """
+
+    def __init__(self, report: ViolationReport):
+        self.report = report
+        details = "; ".join(str(v) for v in report.violations)
+        super().__init__(f"infeasible design: {details}")
 
 
 def is_connected(design: NocDesign) -> bool:
@@ -68,26 +222,56 @@ class ConstraintChecker:
         self.grid = config.grid
 
     def violations(self, design: NocDesign) -> list[ConstraintViolation]:
-        """Return every constraint violation of ``design`` (empty list == feasible)."""
+        """Return every constraint violation of ``design`` (empty list == feasible).
+
+        Violations are returned in the deterministic report order (severity
+        rank, code, message) — see :meth:`report`.
+        """
+        return list(self.report(design).violations)
+
+    def report(self, design: NocDesign) -> ViolationReport:
+        """Structured feasibility report for ``design`` (pure and deterministic)."""
         found: list[ConstraintViolation] = []
         found.extend(self._placement_violations(design))
         found.extend(self._link_violations(design))
         if not is_connected(design):
-            found.append(
-                ConstraintViolation("connectivity", "the link placement is not a connected network")
+            components = _components(design)
+            main = components[0] if components else []
+            stranded = tuple(
+                tile for component in components[1:] for tile in component
             )
-        return found
+            found.append(
+                ConstraintViolation(
+                    "connectivity",
+                    "the link placement is not a connected network",
+                    details=violation_details(
+                        num_components=len(components),
+                        component_sizes=tuple(len(c) for c in components),
+                        main_component_size=len(main),
+                        stranded_tiles=tuple(sorted(stranded)),
+                    ),
+                )
+            )
+        return ViolationReport(
+            platform=self.config.name,
+            num_tiles=design.num_tiles,
+            num_links=design.num_links,
+            violations=tuple(sorted(found, key=_violation_sort_key)),
+        )
 
     def is_feasible(self, design: NocDesign) -> bool:
         """True when the design satisfies every constraint."""
-        return not self.violations(design)
+        return not self.report(design).violations
 
     def check(self, design: NocDesign) -> None:
-        """Raise ``ValueError`` listing all violations if the design is infeasible."""
-        found = self.violations(design)
-        if found:
-            details = "; ".join(str(v) for v in found)
-            raise ValueError(f"infeasible design: {details}")
+        """Raise :class:`InfeasibleDesignError` if the design is infeasible.
+
+        The exception subclasses ``ValueError`` (the historical contract) and
+        carries the structured :class:`ViolationReport` as ``.report``.
+        """
+        report = self.report(design)
+        if report.violations:
+            raise InfeasibleDesignError(report)
 
     # ------------------------------------------------------------------ #
     # Individual checks
@@ -100,15 +284,27 @@ class ConstraintChecker:
                 ConstraintViolation(
                     "placement-size",
                     f"placement has {design.num_tiles} tiles, platform has {config.num_tiles}",
+                    severity=SEVERITY_FATAL,
+                    details=violation_details(
+                        num_tiles=design.num_tiles, expected=config.num_tiles
+                    ),
                 )
             )
             return found
         placement = design.placement_array()
         if sorted(placement.tolist()) != list(range(config.num_tiles)):
+            ids = [int(p) for p in placement]
+            counts: dict[int, int] = {}
+            for pe_id in ids:
+                counts[pe_id] = counts.get(pe_id, 0) + 1
+            duplicates = tuple(sorted(pe for pe, n in counts.items() if n > 1))
+            missing = tuple(sorted(set(range(config.num_tiles)) - set(ids)))
             found.append(
                 ConstraintViolation(
                     "placement-permutation",
                     "placement is not a permutation of the logical PE ids",
+                    severity=SEVERITY_FATAL,
+                    details=violation_details(duplicate_pes=duplicates, missing_pes=missing),
                 )
             )
             return found
@@ -118,6 +314,7 @@ class ConstraintChecker:
                     ConstraintViolation(
                         "llc-edge",
                         f"LLC PE {int(pe_id)} is placed on interior tile {tile_id}",
+                        details=violation_details(tile=tile_id, pe=int(pe_id)),
                     )
                 )
         return found
@@ -126,13 +323,27 @@ class ConstraintChecker:
         config = self.config
         found: list[ConstraintViolation] = []
         if len(set(design.links)) != len(design.links):
-            found.append(ConstraintViolation("duplicate-link", "duplicate links present"))
+            link_counts: dict[Link, int] = {}
+            for link in design.links:
+                link_counts[link] = link_counts.get(link, 0) + 1
+            duplicated = tuple(sorted(link for link, n in link_counts.items() if n > 1))
+            found.append(
+                ConstraintViolation(
+                    "duplicate-link",
+                    "duplicate links present",
+                    details=violation_details(links=duplicated),
+                )
+            )
         planar = 0
         vertical = 0
         for link in design.links:
             if link.a >= config.num_tiles or link.b >= config.num_tiles:
                 found.append(
-                    ConstraintViolation("link-range", f"{link} references a tile outside the grid")
+                    ConstraintViolation(
+                        "link-range",
+                        f"{link} references a tile outside the grid",
+                        details=violation_details(link=link, num_tiles=config.num_tiles),
+                    )
                 )
                 continue
             if not is_feasible_link(link, config):
@@ -140,6 +351,9 @@ class ConstraintChecker:
                     ConstraintViolation(
                         "link-shape",
                         f"{link} violates the planar-length/vertical-adjacency rules",
+                        details=violation_details(
+                            link=link, max_planar_length=config.max_planar_length
+                        ),
                     )
                 )
                 continue
@@ -152,6 +366,11 @@ class ConstraintChecker:
                 ConstraintViolation(
                     "planar-budget",
                     f"design uses {planar} planar links, budget is {config.num_planar_links}",
+                    details=violation_details(
+                        used=planar,
+                        budget=config.num_planar_links,
+                        delta=planar - config.num_planar_links,
+                    ),
                 )
             )
         if vertical != config.num_vertical_links:
@@ -159,6 +378,11 @@ class ConstraintChecker:
                 ConstraintViolation(
                     "vertical-budget",
                     f"design uses {vertical} vertical links, budget is {config.num_vertical_links}",
+                    details=violation_details(
+                        used=vertical,
+                        budget=config.num_vertical_links,
+                        delta=vertical - config.num_vertical_links,
+                    ),
                 )
             )
         degrees = design.degrees()
@@ -168,6 +392,11 @@ class ConstraintChecker:
                     "router-degree",
                     f"router at tile {int(tile_id)} has degree {int(degrees[tile_id])} "
                     f"(max {config.max_router_degree})",
+                    details=violation_details(
+                        tile=int(tile_id),
+                        degree=int(degrees[tile_id]),
+                        max_degree=config.max_router_degree,
+                    ),
                 )
             )
         return found

@@ -1,0 +1,443 @@
+"""Directed feasibility repair driven by structured violation reports.
+
+:mod:`repro.noc.constraints` explains *why* a design is infeasible
+(:class:`~repro.noc.constraints.ViolationReport`); this module acts on that
+explanation.  :func:`repair_design` runs a seeded, budget-bounded walk that
+picks targeted operators per violation code — LLC placement swaps for
+``llc-edge``, invalid-link drops, degree trims, budget trims/fills and
+connectivity bridging for the link-family codes — generates a brood of
+candidate repairs per round, and (when an evaluator is supplied) scores the
+feasible candidates through
+:meth:`~repro.objectives.evaluator.ObjectiveEvaluator.evaluate_many` so the
+repair that lands closest to the Pareto-relevant region wins, not merely the
+first feasible one.
+
+Every stochastic choice is derived from ``(seed, round, candidate)`` via a
+sha256 substream (the campaign-cell idiom from
+:mod:`repro.experiments.runner`), so a :class:`RepairPlan` replays
+bit-identically from its recorded seed: same design + same seed + same
+budget → same steps, same evaluations spent, same repaired design.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.noc.constraints import (
+    ConstraintChecker,
+    ViolationReport,
+    _enforce_degree_cap,
+    _fill_budgets,
+    _is_redundant,
+    _restore_connectivity,
+    is_connected,
+    random_link_placement,
+)
+from repro.noc.design import NocDesign
+from repro.noc.links import LinkKind, is_feasible_link
+from repro.noc.platform import PEType, PlatformConfig
+from repro.utils.rng import ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (evaluator imports noc)
+    from repro.objectives.evaluator import ObjectiveEvaluator
+
+#: Violation codes the link-operator pipeline can act on.
+LINK_CODES = frozenset(
+    {
+        "duplicate-link",
+        "link-range",
+        "link-shape",
+        "planar-budget",
+        "vertical-budget",
+        "router-degree",
+        "connectivity",
+    }
+)
+
+
+@dataclass(frozen=True)
+class RepairBudget:
+    """Bounds on the directed repair walk.
+
+    ``max_rounds`` caps the number of candidate broods generated,
+    ``candidates_per_round`` sizes each brood, and ``max_evaluations`` caps
+    the total number of candidates scored through the objective evaluator
+    (scoring is skipped entirely once the cap is reached; the walk then
+    falls back to the first feasible candidate, which costs nothing).
+    """
+
+    max_rounds: int = 4
+    candidates_per_round: int = 8
+    max_evaluations: int = 32
+
+    def __post_init__(self) -> None:
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.candidates_per_round < 1:
+            raise ValueError("candidates_per_round must be >= 1")
+        if self.max_evaluations < 0:
+            raise ValueError("max_evaluations must be >= 0")
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "max_rounds": self.max_rounds,
+            "candidates_per_round": self.candidates_per_round,
+            "max_evaluations": self.max_evaluations,
+        }
+
+    @classmethod
+    def smoke(cls) -> "RepairBudget":
+        """Tiny budget for tests."""
+        return cls(max_rounds=2, candidates_per_round=4, max_evaluations=8)
+
+
+@dataclass(frozen=True)
+class RepairStep:
+    """One round of the repair walk.
+
+    ``actions`` names the operators applied to the candidate the round
+    selected (in application order); ``codes_before``/``codes_after`` are the
+    violation codes around the round, so a transcript reads as a chain of
+    "had these problems → applied these operators → left with these".
+    """
+
+    round: int
+    actions: tuple[str, ...]
+    candidates: int
+    feasible_candidates: int
+    scored: int
+    selected: int
+    codes_before: tuple[str, ...]
+    codes_after: tuple[str, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "round": self.round,
+            "actions": list(self.actions),
+            "candidates": self.candidates,
+            "feasible_candidates": self.feasible_candidates,
+            "scored": self.scored,
+            "selected": self.selected,
+            "codes_before": list(self.codes_before),
+            "codes_after": list(self.codes_after),
+        }
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """The full, replayable outcome of one :func:`repair_design` call."""
+
+    seed: int
+    budget: RepairBudget
+    feasible: bool
+    design: NocDesign
+    initial_report: ViolationReport
+    final_report: ViolationReport
+    steps: tuple[RepairStep, ...]
+    evaluations_used: int
+
+    @property
+    def rounds_used(self) -> int:
+        """Number of candidate broods the walk generated."""
+        return len(self.steps)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON representation (reports via their own canonical encodings)."""
+        return {
+            "seed": self.seed,
+            "budget": self.budget.to_dict(),
+            "feasible": self.feasible,
+            "evaluations_used": self.evaluations_used,
+            "rounds_used": self.rounds_used,
+            "steps": [step.to_dict() for step in self.steps],
+            "initial_report": self.initial_report.to_dict(),
+            "final_report": self.final_report.to_dict(),
+            "design": {
+                "placement": [int(p) for p in self.design.placement],
+                "links": [[int(link.a), int(link.b)] for link in self.design.links],
+            },
+        }
+
+    def format(self) -> str:
+        """Multi-line human-readable repair transcript."""
+        verdict = "repaired" if self.feasible else "NOT repaired"
+        lines = [
+            f"repair walk (seed {self.seed}): {verdict} after "
+            f"{self.rounds_used} round(s), {self.evaluations_used} evaluation(s)"
+        ]
+        for step in self.steps:
+            before = ",".join(step.codes_before) or "-"
+            after = ",".join(step.codes_after) or "feasible"
+            actions = " -> ".join(step.actions) or "(no-op)"
+            lines.append(
+                f"  round {step.round}: [{before}] {actions} => [{after}] "
+                f"(candidate {step.selected}/{step.candidates}, "
+                f"{step.feasible_candidates} feasible, {step.scored} scored)"
+            )
+        return "\n".join(lines)
+
+
+def _candidate_seed(seed: int, round_idx: int, index: int) -> int:
+    """Deterministic per-(round, candidate) substream seed."""
+    identity = f"repair|{seed}|{round_idx}|{index}"
+    digest = hashlib.sha256(identity.encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def _swap_llcs_to_edge(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
+    """Swap interior-placed LLC PEs with random non-LLC PEs on edge tiles."""
+    grid = config.grid
+    placement = list(design.placement)
+    offending = [
+        tile
+        for tile, pe in enumerate(placement)
+        if config.pe_type(int(pe)) is PEType.LLC and not grid.is_edge_tile(tile)
+    ]
+    if not offending:
+        return design
+    targets = [
+        tile
+        for tile in range(config.num_tiles)
+        if grid.is_edge_tile(tile) and config.pe_type(int(placement[tile])) is not PEType.LLC
+    ]
+    order = rng.permutation(len(targets))
+    for tile, target_idx in zip(offending, order):
+        target = targets[int(target_idx)]
+        placement[tile], placement[target] = placement[target], placement[tile]
+    return NocDesign(placement=tuple(int(p) for p in placement), links=design.links)
+
+
+def _drop_invalid_links(design: NocDesign, config: PlatformConfig) -> NocDesign:
+    """Remove duplicate, out-of-range and shape-invalid links."""
+    kept = tuple(
+        sorted(
+            {
+                link
+                for link in design.links
+                if link.a < config.num_tiles
+                and link.b < config.num_tiles
+                and is_feasible_link(link, config)
+            }
+        )
+    )
+    if kept == design.links:
+        return design
+    return NocDesign(placement=design.placement, links=kept)
+
+
+def _trim_budgets(design: NocDesign, config: PlatformConfig, rng) -> NocDesign:
+    """Remove excess links per kind, preferring redundant (non-bridging) ones."""
+    grid = config.grid
+    partition = design.links_by_kind(grid)
+    links = set(design.links)
+    changed = False
+    for kind, budget in (
+        (LinkKind.PLANAR, config.num_planar_links),
+        (LinkKind.VERTICAL, config.num_vertical_links),
+    ):
+        of_kind = sorted(partition[kind])
+        excess = len(of_kind) - budget
+        while excess > 0:
+            current = NocDesign(placement=design.placement, links=tuple(sorted(links)))
+            candidates = [link for link in of_kind if link in links]
+            redundant = [link for link in candidates if _is_redundant(link, current)]
+            pool = redundant or candidates
+            victim = pool[int(rng.integers(len(pool)))]
+            links.discard(victim)
+            excess -= 1
+            changed = True
+    if not changed:
+        return design
+    return NocDesign(placement=design.placement, links=tuple(sorted(links)))
+
+
+def _directed_candidate(
+    design: NocDesign,
+    config: PlatformConfig,
+    report: ViolationReport,
+    checker: ConstraintChecker,
+    rng,
+) -> tuple[NocDesign, tuple[str, ...]]:
+    """Build one repair candidate by applying operators targeted at ``report``.
+
+    Returns the candidate and the names of the operators that actually
+    changed the design, in application order.
+    """
+    actions: list[str] = []
+    current = design
+    codes = set(report.codes)
+
+    if "llc-edge" in codes:
+        swapped = _swap_llcs_to_edge(current, config, rng)
+        if swapped is not current:
+            actions.append("llc-edge-swap")
+            current = swapped
+
+    if codes & LINK_CODES:
+        dropped = _drop_invalid_links(current, config)
+        if dropped is not current:
+            actions.append("drop-invalid-links")
+            current = dropped
+        capped = _enforce_degree_cap(current, config, rng)
+        if capped is not current:
+            actions.append("degree-trim")
+            current = capped
+        trimmed = _trim_budgets(current, config, rng)
+        if trimmed is not current:
+            actions.append("budget-trim")
+            current = trimmed
+        filled = _fill_budgets(current, config, rng)
+        if filled.links != current.links:
+            actions.append("budget-fill")
+            current = filled
+        if not is_connected(current):
+            bridged = _restore_connectivity(current, config, rng)
+            if bridged.links != current.links:
+                actions.append("restore-connectivity")
+                current = bridged
+
+    remaining = checker.report(current)
+    if not remaining.feasible and not remaining.fatal and set(remaining.codes) <= LINK_CODES:
+        # Piecemeal operators could not land a feasible link set; regrow one
+        # from scratch on the (now valid) placement — total-function fallback.
+        current = NocDesign(
+            placement=current.placement, links=random_link_placement(config, rng)
+        )
+        actions.append("regenerate-links")
+
+    return current, tuple(actions)
+
+
+def _candidate_scores(values: np.ndarray) -> np.ndarray:
+    """Min-max-normalised objective sum per candidate (all objectives minimised)."""
+    lo = values.min(axis=0)
+    hi = values.max(axis=0)
+    span = np.where(hi > lo, hi - lo, 1.0)
+    return ((values - lo) / span).sum(axis=1)
+
+
+def repair_design(
+    design: NocDesign,
+    config: PlatformConfig,
+    *,
+    seed: int,
+    evaluator: "ObjectiveEvaluator | None" = None,
+    budget: RepairBudget | None = None,
+    checker: ConstraintChecker | None = None,
+) -> RepairPlan:
+    """Run the directed repair walk on ``design`` and return its :class:`RepairPlan`.
+
+    The walk refuses fatal reports (wrong tile count, placement not a
+    permutation): no link/placement operator can restore structural identity,
+    so the plan comes back ``feasible=False`` with zero rounds.  For
+    repairable reports each round builds ``budget.candidates_per_round``
+    candidates from independent seeded substreams; the first round that
+    yields feasible candidates selects one — the lowest normalised objective
+    sum when an ``evaluator`` is given and evaluation budget remains, the
+    first feasible candidate otherwise — and the walk stops.  Rounds that
+    yield none adopt the candidate with the fewest violations (when it
+    improves on the current design) and continue.
+    """
+    budget = budget if budget is not None else RepairBudget()
+    checker = checker if checker is not None else ConstraintChecker(config)
+    initial = checker.report(design)
+    if initial.feasible or initial.fatal:
+        return RepairPlan(
+            seed=seed,
+            budget=budget,
+            feasible=initial.feasible,
+            design=design,
+            initial_report=initial,
+            final_report=initial,
+            steps=(),
+            evaluations_used=0,
+        )
+
+    steps: list[RepairStep] = []
+    evaluations_used = 0
+    current = design
+    current_report = initial
+
+    for round_idx in range(budget.max_rounds):
+        candidates: list[NocDesign] = []
+        actions: list[tuple[str, ...]] = []
+        for index in range(budget.candidates_per_round):
+            rng = ensure_rng(_candidate_seed(seed, round_idx, index))
+            candidate, applied = _directed_candidate(
+                current, config, current_report, checker, rng
+            )
+            candidates.append(candidate)
+            actions.append(applied)
+
+        reports = [checker.report(candidate) for candidate in candidates]
+        feasible_idx = [i for i, rep in enumerate(reports) if rep.feasible]
+
+        if feasible_idx:
+            scored = 0
+            remaining = budget.max_evaluations - evaluations_used
+            if evaluator is not None and remaining > 0 and len(feasible_idx) > 1:
+                to_score = feasible_idx[:remaining]
+                values = evaluator.evaluate_many([candidates[i] for i in to_score])
+                scored = len(to_score)
+                evaluations_used += scored
+                chosen = to_score[int(np.argmin(_candidate_scores(values)))]
+            else:
+                chosen = feasible_idx[0]
+            steps.append(
+                RepairStep(
+                    round=round_idx,
+                    actions=actions[chosen],
+                    candidates=len(candidates),
+                    feasible_candidates=len(feasible_idx),
+                    scored=scored,
+                    selected=chosen,
+                    codes_before=current_report.codes,
+                    codes_after=(),
+                )
+            )
+            return RepairPlan(
+                seed=seed,
+                budget=budget,
+                feasible=True,
+                design=candidates[chosen],
+                initial_report=initial,
+                final_report=reports[chosen],
+                steps=tuple(steps),
+                evaluations_used=evaluations_used,
+            )
+
+        # No feasible candidate this round: keep the best partial progress
+        # (fewest violations, ties broken by candidate index) and iterate.
+        best = min(
+            range(len(candidates)), key=lambda i: (len(reports[i].violations), i)
+        )
+        steps.append(
+            RepairStep(
+                round=round_idx,
+                actions=actions[best],
+                candidates=len(candidates),
+                feasible_candidates=0,
+                scored=0,
+                selected=best,
+                codes_before=current_report.codes,
+                codes_after=reports[best].codes,
+            )
+        )
+        if len(reports[best].violations) < len(current_report.violations):
+            current = candidates[best]
+            current_report = reports[best]
+
+    return RepairPlan(
+        seed=seed,
+        budget=budget,
+        feasible=False,
+        design=current,
+        initial_report=initial,
+        final_report=current_report,
+        steps=tuple(steps),
+        evaluations_used=evaluations_used,
+    )

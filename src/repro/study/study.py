@@ -68,7 +68,7 @@ from repro.utils.serialization import platform_to_dict
 
 #: Named platform factories accepted by ``Study(platform=...)`` and the
 #: declarative ``"platform"`` key (hyphen/underscore/case-insensitive, with
-#: the short forms ``tiny`` / ``small`` / ``paper``).
+#: the short forms ``tiny`` / ``small`` / ``paper`` / ``flat`` / ``big``).
 PLATFORM_FACTORIES: dict[str, Any] = {
     "tiny": PlatformConfig.tiny_2x2x2,
     "tiny-2x2x2": PlatformConfig.tiny_2x2x2,
@@ -76,6 +76,10 @@ PLATFORM_FACTORIES: dict[str, Any] = {
     "small-3x3x3": PlatformConfig.small_3x3x3,
     "paper": PlatformConfig.paper_4x4x4,
     "paper-4x4x4": PlatformConfig.paper_4x4x4,
+    "flat": PlatformConfig.flat_4x4x1,
+    "flat-4x4x1": PlatformConfig.flat_4x4x1,
+    "big": PlatformConfig.big_8x8x4,
+    "big-8x8x4": PlatformConfig.big_8x8x4,
 }
 
 #: Base experiment presets the study starts from before applying overrides.
@@ -108,6 +112,10 @@ _CAMPAIGN_KEYS: tuple[str, ...] = (
     "event_log",
     "shared_routing_cache",
     "routing_warm_start",
+    "repair_infeasible",
+    "repair_max_rounds",
+    "repair_candidates_per_round",
+    "repair_max_evaluations",
 )
 
 
@@ -302,6 +310,10 @@ class Study:
         event_log: bool = True,
         shared_routing_cache: bool = True,
         routing_warm_start: bool = False,
+        repair_infeasible: bool = False,
+        repair_max_rounds: int = 4,
+        repair_candidates_per_round: int = 8,
+        repair_max_evaluations: int = 32,
     ) -> "Study":
         """Execute as a sharded, resumable campaign instead of inline runs.
 
@@ -309,7 +321,9 @@ class Study:
         pooled or inline — through the durable ``events.jsonl`` next to the
         manifest; it is also what :meth:`submit`'s non-blocking handle tails.
         ``shared_routing_cache`` and ``routing_warm_start`` control the
-        cross-cell routing-cache tiers (see
+        cross-cell routing-cache tiers; ``repair_infeasible`` and the
+        ``repair_*`` budget keys control the opt-in directed feasibility
+        repair path inside every cell (see
         :class:`~repro.experiments.config.CampaignConfig`).
         """
         self._campaign = {
@@ -320,6 +334,10 @@ class Study:
             "event_log": bool(event_log),
             "shared_routing_cache": bool(shared_routing_cache),
             "routing_warm_start": bool(routing_warm_start),
+            "repair_infeasible": bool(repair_infeasible),
+            "repair_max_rounds": int(repair_max_rounds),
+            "repair_candidates_per_round": int(repair_candidates_per_round),
+            "repair_max_evaluations": int(repair_max_evaluations),
         }
         return self
 
@@ -388,6 +406,10 @@ class Study:
                 event_log=bool(campaign.get("event_log", True)),
                 shared_routing_cache=bool(campaign.get("shared_routing_cache", True)),
                 routing_warm_start=bool(campaign.get("routing_warm_start", False)),
+                repair_infeasible=bool(campaign.get("repair_infeasible", False)),
+                repair_max_rounds=int(campaign.get("repair_max_rounds", 4)),
+                repair_candidates_per_round=int(campaign.get("repair_candidates_per_round", 8)),
+                repair_max_evaluations=int(campaign.get("repair_max_evaluations", 32)),
             )
         return study
 
@@ -451,6 +473,16 @@ class Study:
                 del campaign["max_workers"]
             if campaign.get("event_log") is True:
                 del campaign["event_log"]
+            if campaign.get("repair_infeasible") is False:
+                # Repair off is the default; dropping the whole block keeps
+                # pre-repair study files byte-identical.
+                for key in (
+                    "repair_infeasible",
+                    "repair_max_rounds",
+                    "repair_candidates_per_round",
+                    "repair_max_evaluations",
+                ):
+                    campaign.pop(key, None)
             payload["campaign"] = campaign
         return payload
 
@@ -507,6 +539,10 @@ class Study:
             event_log=self._campaign.get("event_log", True),
             shared_routing_cache=self._campaign.get("shared_routing_cache", True),
             routing_warm_start=self._campaign.get("routing_warm_start", False),
+            repair_infeasible=self._campaign.get("repair_infeasible", False),
+            repair_max_rounds=self._campaign.get("repair_max_rounds", 4),
+            repair_candidates_per_round=self._campaign.get("repair_candidates_per_round", 8),
+            repair_max_evaluations=self._campaign.get("repair_max_evaluations", 32),
         )
 
     def _emit(self, kind: str, **payload: Any) -> None:

@@ -1,6 +1,14 @@
-"""Shared fixtures: tiny platforms, workloads and problems reused across the suite."""
+"""Shared fixtures: tiny platforms, workloads and problems reused across the suite.
+
+Also pins the hypothesis profiles the property suites run under: ``dev``
+(the default; randomized, small example counts for fast local runs) and
+``ci`` (derandomized so CI failures reproduce exactly, with a CI-sized
+example budget).  Select one with ``HYPOTHESIS_PROFILE=ci pytest ...``.
+"""
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
@@ -9,6 +17,26 @@ from repro.core.problem import NocDesignProblem
 from repro.noc.constraints import random_design
 from repro.noc.platform import PlatformConfig
 from repro.workloads.registry import get_workload
+
+try:
+    from hypothesis import HealthCheck, settings as hypothesis_settings
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
+else:
+    hypothesis_settings.register_profile(
+        "dev",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.register_profile(
+        "ci",
+        max_examples=50,
+        deadline=None,
+        derandomize=True,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,117 @@
+"""Seeded-equivalence tests for the opt-in repair path (the PR's acceptance bar).
+
+Two bit-identity guarantees are pinned at rtol=0:
+
+* ``repair_infeasible=False`` (the default) changes *nothing*: every
+  registered optimizer's seeded run, every campaign shard and the durable
+  event log are bit-compatible with pre-repair behaviour, and no ``repair``
+  keys leak into default artifacts (old directories resume);
+* because every optimizer's move operators are feasible-by-construction,
+  even ``repair_infeasible=True`` leaves seeded search trajectories
+  bit-identical — the walk only runs on infeasible brood members, and the
+  hook consumes no RNG when there are none.
+"""
+
+import json
+from dataclasses import replace
+
+import numpy as np
+
+from repro.experiments.config import CampaignConfig, ExperimentConfig
+from repro.experiments.runner import run_algorithm, run_campaign
+from repro.study.registry import default_registry
+from repro.workloads.registry import get_workload
+
+from .test_scenario_equivalence import arrays_of, assert_bit_identical, smoke_campaign
+
+
+def _run(algorithm, tiny_workload, **kwargs):
+    from repro.core.problem import NocDesignProblem
+
+    experiment = ExperimentConfig.smoke()
+    problem = NocDesignProblem(tiny_workload, scenario=3)
+    return run_algorithm(algorithm, problem, experiment, seed=13, **kwargs)
+
+
+class TestEveryOptimizerUnchangedByDefault:
+    def test_default_runs_carry_no_repair_metadata(self, tiny_workload):
+        for name in default_registry().names():
+            result = _run(name, tiny_workload)
+            assert "repair" not in result.metadata, name
+
+    def test_repair_off_is_bit_identical_to_default(self, tiny_workload):
+        """Explicit repair_infeasible=False == not passing it at all, rtol=0."""
+        for name in default_registry().names():
+            default = _run(name, tiny_workload)
+            explicit = _run(name, tiny_workload, repair_infeasible=False)
+            np.testing.assert_allclose(
+                default.objectives, explicit.objectives, rtol=0, atol=0, err_msg=name
+            )
+            assert default.evaluations == explicit.evaluations, name
+
+    def test_repair_on_never_fires_on_feasible_broods(self, tiny_workload):
+        """Move operators are feasible-by-construction, so even repair ON is
+        bit-identical to OFF — the walk has nothing to repair and the hook
+        consumes no RNG."""
+        for name in default_registry().names():
+            off = _run(name, tiny_workload)
+            on = _run(name, tiny_workload, repair_infeasible=True)
+            np.testing.assert_allclose(
+                off.objectives, on.objectives, rtol=0, atol=0, err_msg=name
+            )
+            assert on.evaluations == off.evaluations, name
+            assert on.metadata["repair"] == {"attempted": 0, "repaired": 0, "evaluations": 0}, name
+
+
+def _event_fingerprint(output_dir):
+    """The deterministic projection of the event log.
+
+    Timing fields and the (path-dependent) output directory are dropped;
+    everything else — the envelope, event kinds, iteration/evaluation
+    counters and payloads — must match across equivalent campaigns.
+    """
+    lines = []
+    for raw in (output_dir / "events.jsonl").read_text().splitlines():
+        record = json.loads(raw)
+        event = record.get("event", record)
+        event.pop("elapsed_seconds", None)
+        payload = event.get("payload")
+        if isinstance(payload, dict):
+            payload.pop("elapsed_seconds", None)
+            payload.pop("seconds", None)
+            payload.pop("output_dir", None)
+        lines.append(record)
+    return lines
+
+
+class TestCampaignArtifactsUnchangedByDefault:
+    def test_default_shards_and_manifest_have_no_repair_keys(self, tmp_path):
+        run_campaign(smoke_campaign(), tmp_path)
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert "repair" not in manifest
+        assert all("repair" not in entry for entry in manifest["cells"])
+        for shard in tmp_path.glob("cell_*.json"):
+            assert "repair" not in json.loads(shard.read_text())
+
+    def test_repair_campaign_bit_identical_and_counted(self, tmp_path):
+        """Repair ON: same numbers, same event sequence, zero walks fired —
+        plus repair counters in every shard and a manifest rollup."""
+        off = smoke_campaign()
+        run_campaign(off, tmp_path / "off")
+        run_campaign(replace(off, repair_infeasible=True), tmp_path / "on")
+        assert_bit_identical(arrays_of(tmp_path / "off"), arrays_of(tmp_path / "on"))
+        assert _event_fingerprint(tmp_path / "off") == _event_fingerprint(tmp_path / "on")
+        manifest = json.loads((tmp_path / "on" / "manifest.json").read_text())
+        assert manifest["repair"]["attempted"] == 0
+        assert manifest["repair"]["cells_counted"] == 4
+        for shard in (tmp_path / "on").glob("cell_*.json"):
+            payload = json.loads(shard.read_text())
+            assert payload["repair"] == {"attempted": 0, "repaired": 0, "evaluations": 0}
+
+    def test_repair_campaign_resumes_default_directory(self, tmp_path):
+        """Turning repair on must not invalidate an existing campaign dir."""
+        campaign = smoke_campaign()
+        summary = run_campaign(campaign, tmp_path)
+        resumed = run_campaign(replace(campaign, repair_infeasible=True), tmp_path)
+        assert not resumed.executed
+        assert len(resumed.skipped) == len(summary.cells)

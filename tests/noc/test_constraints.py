@@ -3,14 +3,22 @@
 import numpy as np
 import pytest
 
+import json
+
 from repro.noc.constraints import (
+    SEVERITY_ERROR,
+    SEVERITY_FATAL,
     ConstraintChecker,
+    ConstraintViolation,
+    InfeasibleDesignError,
+    ViolationReport,
     is_connected,
     random_design,
     random_designs,
     random_link_placement,
     random_placement,
     repair_links,
+    violation_details,
 )
 from repro.noc.design import NocDesign
 from repro.noc.links import Link, LinkKind
@@ -109,6 +117,85 @@ class TestChecker:
     def test_feasible_design_passes_check(self, tiny_config):
         design = random_design(tiny_config, np.random.default_rng(0))
         ConstraintChecker(tiny_config).check(design)
+
+
+class TestTypedExceptionContract:
+    """The message contract ``check()`` has always exposed, now typed.
+
+    Callers that matched the bare ``ValueError`` by its ``"infeasible
+    design"`` prefix keep working; new callers get the structured report via
+    ``InfeasibleDesignError.report``.
+    """
+
+    @pytest.fixture()
+    def damaged(self, tiny_config):
+        design = random_design(tiny_config, np.random.default_rng(0))
+        return NocDesign(placement=design.placement, links=design.links[:-2])
+
+    def test_is_a_value_error(self, tiny_config, damaged):
+        with pytest.raises(ValueError):
+            ConstraintChecker(tiny_config).check(damaged)
+        assert issubclass(InfeasibleDesignError, ValueError)
+
+    def test_message_keeps_historical_prefix(self, tiny_config, damaged):
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            ConstraintChecker(tiny_config).check(damaged)
+        message = str(excinfo.value)
+        assert message.startswith("infeasible design: ")
+        # every violation is rendered as "[code] message" in the string
+        for violation in excinfo.value.report.violations:
+            assert f"[{violation.code}]" in message
+
+    def test_carries_the_structured_report(self, tiny_config, damaged):
+        with pytest.raises(InfeasibleDesignError) as excinfo:
+            ConstraintChecker(tiny_config).check(damaged)
+        report = excinfo.value.report
+        assert isinstance(report, ViolationReport)
+        assert not report.feasible
+        assert report.violations
+
+
+class TestViolationReport:
+    def test_feasible_report_is_empty(self, tiny_config):
+        design = random_design(tiny_config, np.random.default_rng(0))
+        report = ConstraintChecker(tiny_config).report(design)
+        assert report.feasible and not report.fatal
+        assert report.violations == ()
+        assert "feasible" in report.format()
+
+    def test_budget_violation_details(self, tiny_config):
+        design = random_design(tiny_config, np.random.default_rng(0))
+        trimmed = NocDesign(placement=design.placement, links=design.links[:-1])
+        report = ConstraintChecker(tiny_config).report(trimmed)
+        assert not report.feasible
+        budget = next(v for v in report.violations if v.code.endswith("-budget"))
+        assert budget.severity == SEVERITY_ERROR
+        assert budget.detail("delta") == budget.detail("used") - budget.detail("budget")
+
+    def test_placement_violations_are_fatal(self, tiny_config):
+        design = random_design(tiny_config, np.random.default_rng(0))
+        placement = list(design.placement)
+        placement[0] = placement[1]
+        bad = NocDesign(placement=tuple(placement), links=design.links)
+        report = ConstraintChecker(tiny_config).report(bad)
+        assert report.fatal
+        (fatal,) = report.by_code("placement-permutation")
+        assert fatal.severity == SEVERITY_FATAL
+
+    def test_report_round_trips_through_json(self, tiny_config):
+        design = random_design(tiny_config, np.random.default_rng(0))
+        trimmed = NocDesign(placement=design.placement, links=design.links[:-2])
+        report = ConstraintChecker(tiny_config).report(trimmed)
+        payload = json.loads(report.to_json())
+        assert payload == report.to_dict()
+        assert payload["platform"] == tiny_config.name
+        assert [v["code"] for v in payload["violations"]] == list(report.codes)
+
+    def test_violations_are_hashable_value_objects(self):
+        a = ConstraintViolation("demo", "demo message", details=violation_details(x=1))
+        b = ConstraintViolation("demo", "demo message", details=violation_details(x=1))
+        assert a == b and hash(a) == hash(b)
+        assert str(a) == "[demo] demo message"
 
 
 class TestRepair:

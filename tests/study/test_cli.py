@@ -312,3 +312,69 @@ class TestScenarioFlagsAndRobustness:
         capsys.readouterr()
         assert main(["robustness", "--output-dir", str(campaign_dir)]) == 2
         assert "no completed 'identity' cells" in capsys.readouterr().err
+
+
+class TestExplain:
+    @pytest.fixture()
+    def designs(self, tiny_config, tmp_path):
+        """A feasible and an infeasible tiny design, saved as JSON files."""
+        import numpy as np
+
+        from repro.noc.constraints import random_design
+        from repro.noc.design import NocDesign
+        from repro.utils.serialization import save_design
+
+        design = random_design(tiny_config, np.random.default_rng(0))
+        broken = NocDesign(placement=design.placement, links=design.links[:-2])
+        return (
+            save_design(design, tmp_path / "ok.json"),
+            save_design(broken, tmp_path / "broken.json"),
+        )
+
+    def test_feasible_design_exits_zero(self, designs, capsys):
+        ok, _ = designs
+        assert main(["explain", str(ok)]) == 0
+        assert "feasible" in capsys.readouterr().out
+
+    def test_infeasible_design_renders_violations_and_exits_one(self, designs, capsys):
+        _, broken = designs
+        assert main(["explain", str(broken)]) == 1
+        out = capsys.readouterr().out
+        assert "violation(s)" in out and "-budget]" in out
+
+    def test_platform_is_inferred_from_tile_count(self, designs, capsys):
+        """8 tiles can only be tiny-2x2x2; --platform is optional."""
+        _, broken = designs
+        assert main(["explain", str(broken)]) == main(
+            ["explain", str(broken), "--platform", "tiny"]
+        )
+        capsys.readouterr()
+
+    def test_json_rendering_round_trips(self, designs, capsys):
+        _, broken = designs
+        assert main(["explain", str(broken), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["feasible"] is False
+        assert payload["report"]["violations"]
+
+    def test_repair_prints_transcript_and_exits_zero(self, designs, capsys):
+        _, broken = designs
+        assert main(["explain", str(broken), "--repair", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "repair walk (seed 3)" in out and "repaired" in out
+
+    def test_repair_json_carries_the_plan(self, designs, capsys):
+        _, broken = designs
+        assert main(["explain", str(broken), "--repair", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["repair"]["feasible"] is True
+        assert payload["repair"]["steps"]
+
+    def test_unknown_platform_fails_cleanly(self, designs, capsys):
+        ok, _ = designs
+        assert main(["explain", str(ok), "--platform", "mega"]) == 2
+        assert "unknown platform" in capsys.readouterr().err
+
+    def test_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["explain", str(tmp_path / "absent.json")]) == 2
+        assert "error" in capsys.readouterr().err
